@@ -1,0 +1,54 @@
+"""EXT-FENNEL — streaming placement versus the paper's five methods.
+
+The design-space hole the paper leaves open: a method with HASH's
+zero-move property that still respects edges.  FENNEL-style streaming
+placement fills it; this bench positions it on the cut/balance/moves
+landscape next to the paper's methods (k = 4, full history).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.render import ascii_table, format_si
+from repro.core.registry import PAPER_ORDER, make_method
+from repro.core.replay import ReplayEngine
+from repro.graph.snapshot import HOUR
+
+K = 4
+
+
+@pytest.mark.benchmark(group="fennel")
+def test_fennel_vs_paper_methods(benchmark, runner, out_dir):
+    log = runner.workload.builder.log
+
+    def run_fennel():
+        method = make_method("fennel", K, seed=1)
+        return ReplayEngine(log, method, metric_window=24 * HOUR).run()
+
+    fennel = benchmark.pedantic(run_fennel, rounds=1, iterations=1)
+
+    results = {"fennel": fennel}
+    for name in PAPER_ORDER:
+        results[name] = runner.replay(name, K, seed=1)
+
+    def mean(res, col):
+        pts = [p for p in res.series.points if p.interactions > 0]
+        return sum(getattr(p, col) for p in pts) / len(pts)
+
+    rows = [
+        (name, f"{mean(res, 'dynamic_edge_cut'):.3f}",
+         f"{mean(res, 'dynamic_balance'):.3f}", format_si(res.total_moves))
+        for name, res in results.items()
+    ]
+    write_artifact(
+        out_dir, "fennel_comparison.txt",
+        ascii_table(["method", "dyn edge-cut", "dyn balance", "moves"],
+                    rows, title=f"EXT-FENNEL — streaming vs paper methods, k={K}"),
+    )
+
+    # fennel: zero moves like hash, but much better cut than hash
+    assert fennel.total_moves == 0
+    assert mean(fennel, "dynamic_edge_cut") < 0.8 * mean(results["hash"], "dynamic_edge_cut")
+    # it cannot beat periodic repartitioning on cut (otherwise the
+    # paper's whole moves-vs-cut tradeoff would be vacuous)
+    assert mean(fennel, "dynamic_edge_cut") > mean(results["metis"], "dynamic_edge_cut")

@@ -1,0 +1,29 @@
+"""FIG3 — hashing vs METIS per-window series at k = 2 (paper Fig. 3).
+
+Expected reproduced shape (paper §III):
+
+* hashing: static balance ≈ 1, static edge-cut ≈ 0.5, zero moves;
+* METIS: much lower edge-cut both static and dynamic, two-week
+  repartitionings, dynamic balance drifting toward 2 after the attack.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.fig3 import compute_fig3, render_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_hash_vs_metis(benchmark, runner, out_dir):
+    data = benchmark.pedantic(compute_fig3, args=(runner,), rounds=1, iterations=1)
+    write_artifact(out_dir, "fig3_timeseries.txt", render_fig3(data))
+
+    s = data.summary()
+    assert 0.40 <= s["hash_static_cut"] <= 0.60
+    assert s["hash_static_balance"] < 1.25
+    assert s["hash_moves"] == 0
+    assert s["metis_dynamic_cut"] < 0.6 * s["hash_dynamic_cut"]
+    assert s["metis_static_cut"] < 0.75 * s["hash_static_cut"]
+    assert s["metis_repartitions"] >= 50          # ~biweekly over 2.4 years
+    assert s["metis_post_attack_dyn_balance"] > 1.45   # the anomaly
+    assert s["metis_moves"] > 10 * s["metis_repartitions"]

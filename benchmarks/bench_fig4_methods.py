@@ -1,0 +1,46 @@
+"""FIG4 — per-period distributions for all five methods (paper Fig. 4).
+
+Regenerates the box/violin statistics of dynamic edge-cut, dynamic
+balance and per-period moves over the four 2017 sub-periods, in the
+paper's two configurations (k = 2 and k = 8).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.fig4 import compute_fig4, median_table, render_fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("k", [2, 8])
+def test_fig4_distributions(benchmark, runner, k, out_dir):
+    cells = benchmark.pedantic(
+        compute_fig4, args=(runner, k), rounds=1, iterations=1
+    )
+    write_artifact(out_dir, f"fig4_k{k}.txt", render_fig4(cells))
+
+    table = median_table(cells)
+    periods = {p for (_, p) in table}
+    assert len(periods) == 4
+
+    for period in periods:
+        # HASH: worst edge-cut of all methods, zero moves
+        hash_cut = table[("hash", period)]["edge_cut"]
+        for method in ("kl", "metis", "p-metis", "tr-metis"):
+            assert table[(method, period)]["edge_cut"] <= hash_cut + 0.05
+        assert table[("hash", period)]["moves"] == 0
+        # METIS: best (or near-best) edge-cut, most moves of the family
+        assert table[("metis", period)]["edge_cut"] <= hash_cut * 0.8
+        assert (table[("metis", period)]["moves"]
+                > table[("tr-metis", period)]["moves"])
+
+    # aggregate orderings over all of 2017 (medians averaged):
+    def agg(method, metric):
+        vals = [table[(method, p)][metric] for p in periods]
+        return sum(vals) / len(vals)
+
+    # balance: metis worst of the family (the attack anomaly persists)
+    assert agg("metis", "balance") > agg("p-metis", "balance")
+    # moves: metis >> p-metis > tr-metis
+    assert agg("metis", "moves") > 3 * agg("p-metis", "moves")
+    assert agg("tr-metis", "moves") < agg("p-metis", "moves")

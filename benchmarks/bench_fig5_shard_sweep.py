@@ -1,0 +1,47 @@
+"""FIG5 + TAB-HASH8 — metrics versus shard count (paper Fig. 5).
+
+Sweeps k ∈ {2, 4, 8} for all five methods over the full history and
+checks the paper's orderings, including the §II-C headline number:
+hashing at k = 8 makes ~88% of transactions multi-shard.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.fig5 import compute_fig5, hash_k8_multishard, render_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_shard_sweep(benchmark, runner, out_dir):
+    rows = benchmark.pedantic(compute_fig5, args=(runner,), rounds=1, iterations=1)
+    write_artifact(out_dir, "fig5_shard_sweep.txt", render_fig5(rows))
+
+    by = {(r.method, r.k): r for r in rows}
+    methods = {r.method for r in rows}
+
+    # edge-cut worsens with k for every method
+    for m in methods:
+        assert by[(m, 2)].dynamic_edge_cut < by[(m, 4)].dynamic_edge_cut + 0.03
+        assert by[(m, 2)].dynamic_edge_cut < by[(m, 8)].dynamic_edge_cut
+
+    for k in (2, 4, 8):
+        # METIS-family beats hashing and KL on edge-cut...
+        assert by[("metis", k)].dynamic_edge_cut < by[("hash", k)].dynamic_edge_cut
+        assert by[("metis", k)].dynamic_edge_cut < by[("kl", k)].dynamic_edge_cut
+        # ...hashing never moves anything...
+        assert by[("hash", k)].total_moves == 0
+        # ...and METIS moves dwarf the windowed variants'
+        assert by[("metis", k)].total_moves > 3 * by[("p-metis", k)].total_moves
+        assert by[("tr-metis", k)].total_moves < by[("p-metis", k)].total_moves
+
+    # hashing and METIS take extreme ends of the balance/cut tradeoff
+    hash_bal_wins = sum(
+        1 for k in (2, 4, 8)
+        if by[("hash", k)].normalized_dynamic_balance
+        < by[("metis", k)].normalized_dynamic_balance
+    )
+    assert hash_bal_wins >= 2
+
+    # TAB-HASH8: the 88% headline (paper: 0.88; accept a band)
+    ratio = hash_k8_multishard(rows)
+    assert 0.80 <= ratio <= 0.95, f"hash@k=8 multi-shard ratio {ratio}"

@@ -1,0 +1,112 @@
+"""ABL-METIS — is our METIS substitute good enough?
+
+The paper's conclusions rest on METIS producing low-cut balanced
+partitions.  This benchmark validates the from-scratch multilevel
+partitioner against known optima and weaker baselines on standard graph
+families, and times it on a blockchain-like power-law graph.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.render import ascii_table
+from repro.graph import generators as gen
+from repro.graph.undirected import collapse_to_undirected
+from repro.metis import part_graph
+
+
+def random_cut(digraph, k, seed):
+    und = collapse_to_undirected(digraph)
+    rng = random.Random(seed)
+    assign = {v: rng.randrange(k) for v in und.vertices()}
+    return sum(w for u, v, w in und.edges() if assign[u] != assign[v])
+
+
+@pytest.mark.benchmark(group="metis-quality")
+def test_partitioner_quality_suite(benchmark, out_dir):
+    rng = random.Random(11)
+    suite = {
+        "ring-400 (opt 2)": (gen.ring_graph(400), 2, 2),
+        "grid-20x20 (opt 20)": (gen.grid_graph(20, 20), 2, 20),
+        "cliques-4x20 (opt 0)": (gen.disjoint_cliques(4, 20), 4, 0),
+        "communities-4x30": (
+            gen.weighted_communities(4, 30, 10, 1, rng), 4, None,
+        ),
+        "powerlaw-1500": (gen.powerlaw_graph(1500, 3, rng), 8, None),
+    }
+
+    def run_all():
+        rows = []
+        for name, (g, k, optimum) in suite.items():
+            res = part_graph(g, k, seed=3)
+            rows.append((name, k, res.edge_cut, optimum,
+                         random_cut(g, k, seed=5), round(res.balance, 3)))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_artifact(
+        out_dir, "metis_quality.txt",
+        ascii_table(
+            ["graph", "k", "multilevel cut", "optimum", "random cut", "balance"],
+            rows, title="ABL-METIS — multilevel partitioner quality",
+        ),
+    )
+
+    by_name = {r[0]: r for r in rows}
+    assert by_name["ring-400 (opt 2)"][2] == 2
+    assert by_name["grid-20x20 (opt 20)"][2] <= 30          # ≤ 1.5x optimum
+    assert by_name["cliques-4x20 (opt 0)"][2] == 0
+    for name, row in by_name.items():
+        _, k, cut, _, rand, balance = row
+        assert cut <= 0.8 * rand, f"{name}: {cut} not << random {rand}"
+        assert balance <= 1.35
+
+
+@pytest.mark.benchmark(group="metis-speed")
+def test_partitioner_speed_powerlaw(benchmark):
+    """Raw part_graph timing on a blockchain-like graph (real rounds)."""
+    g = gen.powerlaw_graph(2000, 3, random.Random(5))
+    result = benchmark(lambda: part_graph(g, 8, seed=1))
+    assert result.edge_cut > 0
+
+
+@pytest.mark.benchmark(group="metis-speed")
+def test_partitioner_speed_communities(benchmark):
+    g = gen.weighted_communities(8, 60, 8, 1, random.Random(6))
+    result = benchmark(lambda: part_graph(g, 8, seed=1))
+    assert result.balance <= 1.35
+
+
+@pytest.mark.benchmark(group="metis-speed")
+def test_partitioner_speed_direct_kway(benchmark):
+    """kmetis-style direct scheme: one ladder, k-way refinement."""
+    g = gen.powerlaw_graph(2000, 3, random.Random(5))
+    result = benchmark(lambda: part_graph(g, 8, seed=1, scheme="direct"))
+    assert result.edge_cut > 0
+    assert result.balance <= 1.35
+
+
+@pytest.mark.benchmark(group="metis-quality")
+def test_direct_vs_recursive_quality(benchmark, out_dir):
+    """The pmetis/kmetis tradeoff on a blockchain-like graph."""
+    g = gen.powerlaw_graph(1500, 3, random.Random(9))
+
+    def run_both():
+        rec = part_graph(g, 8, seed=2, scheme="recursive")
+        direct = part_graph(g, 8, seed=2, scheme="direct")
+        return rec, direct
+
+    rec, direct = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    write_artifact(
+        out_dir, "metis_schemes.txt",
+        ascii_table(
+            ["scheme", "edge cut", "balance"],
+            [("recursive (pmetis)", rec.edge_cut, f"{rec.balance:.3f}"),
+             ("direct (kmetis)", direct.edge_cut, f"{direct.balance:.3f}")],
+            title="ABL-METIS — recursive bisection vs direct k-way, k=8",
+        ),
+    )
+    assert direct.edge_cut <= 1.4 * rec.edge_cut
+    assert direct.balance <= 1.35

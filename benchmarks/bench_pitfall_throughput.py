@@ -1,0 +1,37 @@
+"""EXT-PITFALL — throughput under each method's partitioning.
+
+The paper's §I claim, measured: a badly partitioned sharded system
+underdelivers — speedups stay far from the ideal k and correlate with
+multi-shard ratio and load imbalance.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.pitfall import compute_pitfall, render_pitfall
+
+
+@pytest.mark.benchmark(group="pitfall")
+def test_pitfall_throughput(benchmark, runner, out_dir):
+    rows = benchmark.pedantic(
+        compute_pitfall, args=(runner,), kwargs={"k": 8, "max_interactions": 8000},
+        rounds=1, iterations=1,
+    )
+    write_artifact(out_dir, "pitfall_throughput.txt", render_pitfall(rows))
+
+    base = rows[0]
+    assert base.method == "single-shard"
+    sharded = {r.method: r for r in rows[1:]}
+
+    # the pitfall: nobody gets the ideal 8x; random/hash placements sit
+    # well under half of it
+    for r in sharded.values():
+        assert r.speedup_vs_single < 8.0
+    assert sharded["random"].speedup_vs_single < 4.0
+    assert sharded["hash"].speedup_vs_single < 4.0
+
+    # sanity: every sharded run still completes all transactions it was
+    # offered and reports consistent ratios
+    for r in sharded.values():
+        assert 0.0 <= r.multi_shard_ratio <= 1.0
+        assert r.throughput > 0

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate every figure of the paper on the *small*
+workload scale (full 886-day timeline, ~6k transactions) so the whole
+suite completes in minutes.  Rendered figures are written to
+``benchmarks/out/*.txt`` so the rows/series the paper reports survive
+the run as inspectable artifacts.
+
+Scale can be raised with ``REPRO_BENCH_SCALE=medium pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def runner(bench_scale) -> ExperimentRunner:
+    return ExperimentRunner(scale=bench_scale, seed=42, metric_window_hours=24.0)
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(out_dir: pathlib.Path, name: str, text: str) -> None:
+    (out_dir / name).write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[artifact: benchmarks/out/{name}]")

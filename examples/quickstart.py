@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: generate a history, partition it, read the metrics.
+
+This walks the public API end to end in under a minute:
+
+1. generate a synthetic Ethereum-like history (full substrate: EVM-lite
+   executes every transaction);
+2. replay it through two partitioning methods (HASH and METIS) with two
+   shards;
+3. compare edge-cut, balance and moves — the paper's three metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import WorkloadConfig, generate_history, make_method, replay_method
+from repro.graph.snapshot import HOUR
+
+
+def main() -> None:
+    # 1. a small but full-timeline history (≈6k transactions, 886 days)
+    print("generating synthetic history (scale: small)...")
+    history = generate_history(WorkloadConfig.small(seed=7))
+    graph = history.graph
+    print(
+        f"  {history.num_transactions} transactions -> "
+        f"{graph.num_vertices} vertices, {graph.num_edges} edges, "
+        f"{history.builder.num_interactions} interactions"
+    )
+
+    # 2. replay through two methods
+    for name in ("hash", "metis"):
+        method = make_method(name, k=2, seed=1)
+        result = replay_method(history.builder.log, method, metric_window=24 * HOUR)
+
+        # 3. read the metrics
+        active = [p for p in result.series.points if p.interactions > 0]
+        mean_cut = sum(p.dynamic_edge_cut for p in active) / len(active)
+        mean_bal = sum(p.dynamic_balance for p in active) / len(active)
+        print(
+            f"  {name:6s}  dynamic edge-cut={mean_cut:.3f}  "
+            f"dynamic balance={mean_bal:.3f}  "
+            f"moves={result.total_moves}  repartitions={len(result.events)}"
+        )
+
+    print(
+        "\nExpected shape (paper Fig. 3): METIS cuts far fewer edges than\n"
+        "hashing, but hashing never moves a vertex and stays balanced."
+    )
+
+
+if __name__ == "__main__":
+    main()

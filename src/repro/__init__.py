@@ -1,0 +1,53 @@
+"""repro — reproduction of "Challenges and Pitfalls of Partitioning
+Blockchains" (Fynn & Pedone, DSN 2018).
+
+The library models a blockchain as a weighted directed graph, generates
+a calibrated synthetic Ethereum-like history on a real executable
+substrate (EVM-lite + chain), partitions it with the paper's five
+methods, and reproduces every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import WorkloadConfig, generate_history, make_method, replay_method
+
+    history = generate_history(WorkloadConfig.small())
+    method = make_method("metis", k=2, seed=1)
+    result = replay_method(history.builder.log, method)
+    print(result.series.points[-1], result.total_moves)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graph` — blockchain-graph substrate;
+* :mod:`repro.ethereum` — accounts, EVM-lite, chain, synthetic workload;
+* :mod:`repro.metis` — from-scratch multilevel partitioner;
+* :mod:`repro.core` — the five partitioning methods + replay engine;
+* :mod:`repro.metrics` — edge-cut / balance / moves (Eqs. 1-2);
+* :mod:`repro.sharding` — sharded-execution discrete-event simulator;
+* :mod:`repro.analysis` — figure regeneration.
+"""
+
+from repro.core.registry import available_methods, make_method
+from repro.core.replay import ReplayEngine, ReplayResult, replay_method
+from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
+from repro.graph.builder import GraphBuilder, Interaction
+from repro.graph.digraph import VertexKind, WeightedDiGraph
+from repro.metis import part_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadResult",
+    "generate_history",
+    "make_method",
+    "available_methods",
+    "ReplayEngine",
+    "ReplayResult",
+    "replay_method",
+    "GraphBuilder",
+    "Interaction",
+    "WeightedDiGraph",
+    "VertexKind",
+    "part_graph",
+    "__version__",
+]

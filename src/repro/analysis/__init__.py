@@ -1,0 +1,12 @@
+"""Figure/table regeneration: one module per paper artifact.
+
+Each ``fig*.py`` exposes a ``compute_*`` function returning structured
+data (rows/series) and a ``render_*`` function producing the ASCII
+rendition printed by the benchmarks and the CLI.  ``runner`` caches
+workloads and replays so that figures sharing runs (Fig. 4 and Fig. 5)
+do not recompute them.
+"""
+
+from repro.analysis.runner import ExperimentRunner
+
+__all__ = ["ExperimentRunner"]

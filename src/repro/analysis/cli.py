@@ -1,0 +1,88 @@
+"""Command-line entry point: regenerate any figure from the paper.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments fig3 --scale small --seed 42
+    repro-experiments all  --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.runner import SCALES, ExperimentRunner
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate figures from 'Challenges and Pitfalls of "
+        "Partitioning Blockchains' (DSN 2018) on a synthetic trace.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig1", "fig2", "fig3", "fig4", "fig5", "pitfall", "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--scale", default="small", choices=SCALES,
+                        help="workload scale (default: small)")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument("--k", type=int, default=None,
+                        help="shard count override (fig4/pitfall)")
+    parser.add_argument("--window-hours", type=float, default=24.0,
+                        help="metric window width in hours (paper: 4)")
+    args = parser.parse_args(argv)
+
+    runner = ExperimentRunner(
+        scale=args.scale, seed=args.seed, metric_window_hours=args.window_hours
+    )
+    start = time.time()
+    wanted = (
+        ["fig1", "fig2", "fig3", "fig4", "fig5", "pitfall"]
+        if args.figure == "all"
+        else [args.figure]
+    )
+    for name in wanted:
+        _run_one(name, runner, args)
+        print()
+    print(f"[done in {time.time() - start:.1f}s, scale={args.scale}, seed={args.seed}]")
+    return 0
+
+
+def _run_one(name: str, runner: ExperimentRunner, args) -> None:
+    if name == "fig1":
+        from repro.analysis.fig1 import compute_fig1, render_fig1
+
+        print(render_fig1(compute_fig1(runner.workload)))
+    elif name == "fig2":
+        from repro.analysis.fig2 import compute_fig2, render_fig2
+
+        report = compute_fig2(runner.workload)
+        print(render_fig2(report) if report else "fig2: no early contract found")
+    elif name == "fig3":
+        from repro.analysis.fig3 import compute_fig3, render_fig3
+
+        print(render_fig3(compute_fig3(runner)))
+    elif name == "fig4":
+        from repro.analysis.fig4 import compute_fig4, render_fig4
+
+        for k in ((args.k,) if args.k else (2, 8)):
+            print(render_fig4(compute_fig4(runner, k)))
+            print()
+    elif name == "fig5":
+        from repro.analysis.fig5 import compute_fig5, render_fig5
+
+        print(render_fig5(compute_fig5(runner)))
+    elif name == "pitfall":
+        from repro.analysis.pitfall import compute_pitfall, render_pitfall
+
+        print(render_pitfall(compute_pitfall(runner, k=args.k or 8)))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Fig. 3 — hashing vs METIS time series with two shards.
+
+The paper's Fig. 3 plots, over the full history with k = 2, the static
+and dynamic edge-cut (top) and balance (bottom) per 4-hour window, with
+vertical lines at METIS's two-week repartitionings.  Expected shapes:
+
+* hashing: static balance ≈ 1 (uniform hashing), static edge-cut ≈ 0.5,
+  dynamic balance noisier than static;
+* METIS: much lower edge-cut than hashing, at the cost of dynamic
+  balance drifting toward 2 after the attack (one shard holds the live
+  vertices, the other the dummies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.analysis.render import sparkline
+from repro.analysis.runner import ExperimentRunner
+from repro.core.replay import ReplayResult
+from repro.ethereum.history import ATTACK_END, month_label
+
+
+@dataclasses.dataclass
+class Fig3Data:
+    hashing: ReplayResult
+    metis: ReplayResult
+
+    def summary(self) -> Dict[str, float]:
+        def mean(series, col):
+            pts = [p for p in series.points if p.interactions > 0]
+            return sum(getattr(p, col) for p in pts) / len(pts) if pts else 0.0
+
+        def post_attack_mean(series, col):
+            pts = [
+                p for p in series.points if p.interactions > 0 and p.ts > ATTACK_END
+            ]
+            return sum(getattr(p, col) for p in pts) / len(pts) if pts else 0.0
+
+        return {
+            "hash_static_cut": mean(self.hashing.series, "static_edge_cut"),
+            "hash_dynamic_cut": mean(self.hashing.series, "dynamic_edge_cut"),
+            "hash_static_balance": mean(self.hashing.series, "static_balance"),
+            "hash_moves": float(self.hashing.total_moves),
+            "metis_static_cut": mean(self.metis.series, "static_edge_cut"),
+            "metis_dynamic_cut": mean(self.metis.series, "dynamic_edge_cut"),
+            "metis_post_attack_dyn_balance": post_attack_mean(
+                self.metis.series, "dynamic_balance"
+            ),
+            "metis_moves": float(self.metis.total_moves),
+            "metis_repartitions": float(len(self.metis.events)),
+        }
+
+
+def compute_fig3(runner: ExperimentRunner, seed: int = 1) -> Fig3Data:
+    return Fig3Data(
+        hashing=runner.replay("hash", 2, seed=seed),
+        metis=runner.replay("metis", 2, seed=seed),
+    )
+
+
+def render_fig3(data: Fig3Data) -> str:
+    out: List[str] = ["Fig. 3 — hashing vs METIS, k = 2 (per-window series)"]
+    for label, result in (("(a) Hashing", data.hashing), ("(b) METIS", data.metis)):
+        s = result.series
+        pts = [p for p in s.points if p.interactions > 0]
+        out += [
+            "",
+            f"{label}: {len(s.points)} windows, {len(result.events)} repartitions, "
+            f"{result.total_moves} moves",
+            "  dynamic edge-cut : " + sparkline([p.dynamic_edge_cut for p in pts]),
+            "  static  edge-cut : " + sparkline([p.static_edge_cut for p in pts]),
+            "  dynamic balance  : " + sparkline([p.dynamic_balance for p in pts]),
+            "  static  balance  : " + sparkline([p.static_balance for p in pts]),
+        ]
+    summary = data.summary()
+    out += [""] + [f"  {k} = {v:.3f}" for k, v in summary.items()]
+    return "\n".join(out)

@@ -1,0 +1,98 @@
+"""Fig. 4 — per-period metric distributions for all five methods.
+
+The paper's Fig. 4 shows box-and-whisker + violin plots of dynamic
+edge-cut, dynamic balance and total moves for the five methods over
+four sub-periods of 2017 (01-06, 06-09, 09-12, 12-01), in
+configurations with 2 and 8 shards.  Expected shapes: HASH worst
+edge-cut / zero moves; KL balanced with many moves; METIS best
+edge-cut / worst balance / most moves; P-METIS better balance than
+METIS; TR-METIS ≈ P-METIS with far fewer moves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.analysis.render import ascii_table, box_plot_row, format_si
+from repro.analysis.runner import ExperimentRunner
+from repro.core.registry import PAPER_ORDER
+from repro.ethereum.history import FIG4_PERIODS
+from repro.metrics.stats import DistributionSummary, summarize
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig4Cell:
+    """One (method, period) cell of the figure."""
+
+    method: str
+    k: int
+    period: str
+    edge_cut: DistributionSummary
+    balance: DistributionSummary
+    moves: int
+
+
+def compute_fig4(
+    runner: ExperimentRunner,
+    k: int,
+    methods: Tuple[str, ...] = tuple(PAPER_ORDER),
+    seed: int = 1,
+) -> List[Fig4Cell]:
+    """All cells for one shard-count configuration."""
+    cells: List[Fig4Cell] = []
+    for method in methods:
+        result = runner.replay(method, k, seed=seed)
+        for label, start, end in FIG4_PERIODS:
+            sub = result.series.between(start, end)
+            pts = [p for p in sub.points if p.interactions > 0]
+            if not pts:
+                continue
+            cells.append(
+                Fig4Cell(
+                    method=method,
+                    k=k,
+                    period=label,
+                    edge_cut=summarize([p.dynamic_edge_cut for p in pts]),
+                    balance=summarize([p.dynamic_balance for p in pts]),
+                    moves=result.series.moves_between(start, end),
+                )
+            )
+    return cells
+
+
+def render_fig4(cells: List[Fig4Cell]) -> str:
+    if not cells:
+        return "Fig. 4 — (no data)"
+    k = cells[0].k
+    out: List[str] = [f"Fig. 4 — method distributions over 2017 periods, k = {k}"]
+    for metric, getter, lo, hi in (
+        ("dynamic edge-cut", lambda c: c.edge_cut, 0.0, 1.0),
+        ("dynamic balance", lambda c: c.balance, 1.0, float(k)),
+    ):
+        out.append("")
+        out.append(f"  {metric}  (rows: method @ period; [{lo}, {hi}])")
+        for c in cells:
+            s = getter(c)
+            out.append(
+                f"  {c.method:9s} {c.period}  "
+                + box_plot_row(s.minimum, s.q1, s.median, s.q3, s.maximum, lo, hi)
+                + f"  med={s.median:.3f}"
+            )
+    out.append("")
+    rows = [(c.method, c.period, format_si(c.moves)) for c in cells]
+    out.append(ascii_table(["method", "period", "moves"], rows, title="  moves per period"))
+    return "\n".join(out)
+
+
+def median_table(cells: List[Fig4Cell]) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """(method, period) → {edge_cut, balance, moves} medians — the
+    machine-checkable core of the figure, used by tests/EXPERIMENTS."""
+    table: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for c in cells:
+        table[(c.method, c.period)] = {
+            "edge_cut": c.edge_cut.median,
+            "balance": c.balance.median,
+            "moves": float(c.moves),
+        }
+    return table

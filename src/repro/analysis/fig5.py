@@ -1,0 +1,89 @@
+"""Fig. 5 — metrics versus shard count for all five methods.
+
+The paper's Fig. 5 compares dynamic edge-cut, *normalised* dynamic
+balance ((balance-1)/(k-1)) and total moves with k ∈ {2, 4, 8} over the
+whole history.  Expected shapes: edge-cut worsens with k for every
+method; METIS-family beats hashing and KL on edge-cut; hashing and KL
+win on dynamic balance; METIS moves ≫ P-/TR-METIS moves; and hashing at
+k = 8 shows ~88% multi-shard transactions (the §II-C headline number).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.analysis.render import ascii_table, format_si
+from repro.analysis.runner import ExperimentRunner
+from repro.core.registry import PAPER_ORDER
+from repro.metrics.balance import normalized_balance
+from repro.metrics.edgecut import cross_shard_transaction_ratio
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig5Row:
+    method: str
+    k: int
+    dynamic_edge_cut: float       # mean over active windows, full history
+    dynamic_balance: float        # mean over active windows
+    normalized_dynamic_balance: float
+    total_moves: int
+    cross_shard_tx_ratio: float   # final-assignment transaction ratio
+
+
+def compute_fig5(
+    runner: ExperimentRunner,
+    ks: Tuple[int, ...] = (2, 4, 8),
+    methods: Tuple[str, ...] = tuple(PAPER_ORDER),
+    seed: int = 1,
+) -> List[Fig5Row]:
+    rows: List[Fig5Row] = []
+    log = runner.workload.builder.log
+    for method in methods:
+        for k in ks:
+            result = runner.replay(method, k, seed=seed)
+            pts = [p for p in result.series.points if p.interactions > 0]
+            cut = sum(p.dynamic_edge_cut for p in pts) / len(pts) if pts else 0.0
+            bal = sum(p.dynamic_balance for p in pts) / len(pts) if pts else 1.0
+            rows.append(
+                Fig5Row(
+                    method=method,
+                    k=k,
+                    dynamic_edge_cut=cut,
+                    dynamic_balance=bal,
+                    normalized_dynamic_balance=normalized_balance(bal, k),
+                    total_moves=result.total_moves,
+                    cross_shard_tx_ratio=cross_shard_transaction_ratio(
+                        log, result.assignment.as_dict()
+                    ),
+                )
+            )
+    return rows
+
+
+def render_fig5(rows: List[Fig5Row]) -> str:
+    table_rows = [
+        (
+            r.method,
+            r.k,
+            f"{r.dynamic_edge_cut:.3f}",
+            f"{r.normalized_dynamic_balance:.3f}",
+            format_si(r.total_moves),
+            f"{r.cross_shard_tx_ratio:.3f}",
+        )
+        for r in rows
+    ]
+    return ascii_table(
+        ["method", "k", "dyn edge-cut", "norm dyn balance", "moves", "x-shard tx"],
+        table_rows,
+        title="Fig. 5 — metrics vs number of shards (full history)",
+    )
+
+
+def hash_k8_multishard(rows: List[Fig5Row]) -> float:
+    """The §II-C headline: hashing at k=8 multi-shard transaction ratio
+    (paper: ~0.88)."""
+    for r in rows:
+        if r.method == "hash" and r.k == 8:
+            return r.cross_shard_tx_ratio
+    return float("nan")

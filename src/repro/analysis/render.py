@@ -1,0 +1,95 @@
+"""ASCII rendering of tables, sparklines and box plots.
+
+Benchmarks run in terminals; every figure's ``render_*`` uses these
+helpers so the output style is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cols = len(headers)
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(row[i]) if i < len(row) else "" for i in range(cols)] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(cells[0])))
+    lines.append("  ".join("-" * widths[i] for i in range(cols)))
+    for row in cells[1:]:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(cols)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float], width: int = 60, log: bool = False) -> str:
+    """A one-line intensity chart of a series (resampled to ``width``)."""
+    if not values:
+        return ""
+    vals = list(values)
+    if log:
+        vals = [math.log10(max(v, 1e-12)) for v in vals]
+    if len(vals) > width:
+        # average-pool down to width buckets
+        pooled = []
+        for i in range(width):
+            lo = i * len(vals) // width
+            hi = max(lo + 1, (i + 1) * len(vals) // width)
+            pooled.append(sum(vals[lo:hi]) / (hi - lo))
+        vals = pooled
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[5] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def box_plot_row(
+    minimum: float, q1: float, median: float, q3: float, maximum: float,
+    lo: float, hi: float, width: int = 40,
+) -> str:
+    """One-line box-and-whisker: ``|----[==M==]------|`` on [lo, hi]."""
+    if hi <= lo:
+        return "|" + " " * (width - 2) + "|"
+
+    def pos(v: float) -> int:
+        return max(0, min(width - 1, int((v - lo) / (hi - lo) * (width - 1))))
+
+    cells = [" "] * width
+    for i in range(pos(minimum), pos(maximum) + 1):
+        cells[i] = "-"
+    for i in range(pos(q1), pos(q3) + 1):
+        cells[i] = "="
+    cells[pos(minimum)] = "|"
+    cells[pos(maximum)] = "|"
+    cells[pos(median)] = "M"
+    return "".join(cells)
+
+
+def format_si(value: float) -> str:
+    """1234567 → '1.2M' — for the Fig. 4/5 move counts."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.0f}"

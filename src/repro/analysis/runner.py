@@ -1,0 +1,68 @@
+"""Shared experiment runner with workload and replay caching.
+
+Experiments are pure functions of (scale, seed, method, k, window), so
+the runner memoises them; Fig. 4 and Fig. 5 share most replays and the
+benchmark suite reuses the figures' runs across rounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.core.registry import make_method
+from repro.core.replay import ReplayEngine, ReplayResult
+from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
+from repro.graph.snapshot import HOUR
+
+#: Named workload scales; values are WorkloadConfig factory names.
+SCALES = ("tiny", "small", "medium", "default")
+
+
+def config_for_scale(scale: str, seed: int) -> WorkloadConfig:
+    if scale == "tiny":
+        return WorkloadConfig.tiny(seed)
+    if scale == "small":
+        return WorkloadConfig.small(seed)
+    if scale == "medium":
+        return WorkloadConfig.medium(seed)
+    if scale == "default":
+        return WorkloadConfig(seed=seed)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+class ExperimentRunner:
+    """Memoising facade over workload generation and method replays."""
+
+    def __init__(self, scale: str = "small", seed: int = 42, metric_window_hours: float = 24.0):
+        self.scale = scale
+        self.seed = seed
+        self.metric_window = metric_window_hours * HOUR
+        self._workload: Optional[WorkloadResult] = None
+        self._replays: Dict[Tuple[str, int, int], ReplayResult] = {}
+
+    @property
+    def workload(self) -> WorkloadResult:
+        if self._workload is None:
+            self._workload = generate_history(config_for_scale(self.scale, self.seed))
+        return self._workload
+
+    def replay(self, method_name: str, k: int, seed: int = 1, **method_kwargs) -> ReplayResult:
+        """Replay the workload through a method (cached).
+
+        ``method_kwargs`` take part in the cache key implicitly by
+        being rejected: parameterised method studies (the ablations)
+        should construct methods and engines directly.
+        """
+        if method_kwargs:
+            method = make_method(method_name, k, seed=seed, **method_kwargs)
+            return ReplayEngine(
+                self.workload.builder.log, method, metric_window=self.metric_window
+            ).run()
+        key = (method_name.lower(), k, seed)
+        if key not in self._replays:
+            method = make_method(method_name, k, seed=seed)
+            self._replays[key] = ReplayEngine(
+                self.workload.builder.log, method, metric_window=self.metric_window
+            ).run()
+        return self._replays[key]

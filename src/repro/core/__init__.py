@@ -1,0 +1,38 @@
+"""The paper's contribution: partitioning the blockchain graph over time.
+
+This package implements the five partitioning methods of §II-C —
+HASH, KL (distributed Kernighan–Lin with a balance oracle), METIS
+(periodic full-graph), R-METIS (periodic window-graph; "P-METIS" in the
+paper's figures) and TR-METIS (threshold-triggered window-graph) — plus
+the replay engine that streams the transaction history through a
+method, places newly created vertices, triggers repartitionings and
+records the per-window metric series.
+"""
+
+from repro.core.assignment import ShardAssignment
+from repro.core.base import PartitionMethod, RepartitionEvent, ReplayContext
+from repro.core.hashing import HashPartitioner
+from repro.core.kl import KLPartitioner
+from repro.core.metis_method import MetisPartitioner
+from repro.core.rmetis import RMetisPartitioner
+from repro.core.trmetis import TRMetisPartitioner
+from repro.core.placement import place_by_min_cut
+from repro.core.registry import available_methods, make_method
+from repro.core.replay import ReplayEngine, ReplayResult
+
+__all__ = [
+    "ShardAssignment",
+    "PartitionMethod",
+    "ReplayContext",
+    "RepartitionEvent",
+    "HashPartitioner",
+    "KLPartitioner",
+    "MetisPartitioner",
+    "RMetisPartitioner",
+    "TRMetisPartitioner",
+    "place_by_min_cut",
+    "make_method",
+    "available_methods",
+    "ReplayEngine",
+    "ReplayResult",
+]

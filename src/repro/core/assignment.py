@@ -1,0 +1,141 @@
+"""Shard assignment: the vertex → shard map with shard-side accounting.
+
+The assignment is the mutable object a replay maintains.  It tracks per
+shard the vertex count and the activity weight so balance-aware
+placement is O(1), and it validates shard indices against k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import InvalidPartitionError
+
+
+class ShardAssignment:
+    """Mutable vertex → shard map for a fixed number of shards ``k``."""
+
+    __slots__ = ("k", "_map", "_counts", "_weights")
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise InvalidPartitionError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._map: Dict[int, int] = {}
+        self._counts: List[int] = [0] * k
+        self._weights: List[int] = [0] * k
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def get(self, vertex: int, default: Optional[int] = None) -> Optional[int]:
+        return self._map.get(vertex, default)
+
+    def __getitem__(self, vertex: int) -> int:
+        return self._map[vertex]
+
+    def shard_of(self, vertex: int) -> Optional[int]:
+        return self._map.get(vertex)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._map.items())
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._map)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._map)
+
+    # ------------------------------------------------------------------
+
+    def assign(self, vertex: int, shard: int, weight: int = 0) -> None:
+        """Place a *new* vertex; re-placing an assigned vertex is an error
+        (use :meth:`move`)."""
+        self._check_shard(shard)
+        if vertex in self._map:
+            raise InvalidPartitionError(f"vertex {vertex} already assigned")
+        self._map[vertex] = shard
+        self._counts[shard] += 1
+        self._weights[shard] += weight
+
+    def move(self, vertex: int, shard: int, weight: int = 0) -> int:
+        """Move an assigned vertex; returns its previous shard."""
+        self._check_shard(shard)
+        try:
+            old = self._map[vertex]
+        except KeyError:
+            raise InvalidPartitionError(f"vertex {vertex} not assigned") from None
+        if old != shard:
+            self._map[vertex] = shard
+            self._counts[old] -= 1
+            self._counts[shard] += 1
+            self._weights[old] -= weight
+            self._weights[shard] += weight
+        return old
+
+    def add_weight(self, vertex: int, delta: int) -> None:
+        """Account additional activity weight to the vertex's shard."""
+        shard = self._map[vertex]
+        self._weights[shard] += delta
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.k:
+            raise InvalidPartitionError(f"shard {shard} out of range [0, {self.k})")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        """Vertex count per shard."""
+        return tuple(self._counts)
+
+    @property
+    def weights(self) -> Tuple[int, ...]:
+        """Activity weight per shard."""
+        return tuple(self._weights)
+
+    def lightest_shard(self, by_weight: bool = False) -> int:
+        """Index of the emptiest shard (count or weight)."""
+        source = self._weights if by_weight else self._counts
+        return min(range(self.k), key=lambda s: (source[s], s))
+
+    def static_balance(self) -> float:
+        """Paper Eq. 2 over vertex counts."""
+        total = len(self._map)
+        if total == 0:
+            return 1.0
+        return max(self._counts) * self.k / total
+
+    def dynamic_balance(self) -> float:
+        """Paper Eq. 2 over accumulated activity weights."""
+        total = sum(self._weights)
+        if total == 0:
+            return 1.0
+        return max(self._weights) * self.k / total
+
+    def copy(self) -> "ShardAssignment":
+        clone = ShardAssignment(self.k)
+        clone._map = dict(self._map)
+        clone._counts = list(self._counts)
+        clone._weights = list(self._weights)
+        return clone
+
+    def validate(self) -> None:
+        """Re-derive counters and check internal consistency."""
+        counts = [0] * self.k
+        for v, s in self._map.items():
+            if not 0 <= s < self.k:
+                raise InvalidPartitionError(f"vertex {v} on invalid shard {s}")
+            counts[s] += 1
+        if counts != self._counts:
+            raise InvalidPartitionError(
+                f"count cache out of sync: {counts} != {self._counts}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ShardAssignment(k={self.k}, |V|={len(self._map)}, counts={self._counts})"

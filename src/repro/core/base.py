@@ -1,0 +1,137 @@
+"""Partition-method interface and the replay context it sees.
+
+A :class:`PartitionMethod` answers two questions:
+
+1. *Where does a brand-new vertex go?*  (:meth:`place_vertex`) — by
+   default the paper's min-edge-cut / max-balance rule over the other
+   accounts in the same transaction (§II-C, METIS bullet); HASH
+   overrides it with the hash rule.
+2. *Should the system repartition now, and into what?*
+   (:meth:`maybe_repartition`) — called once per metric window with a
+   :class:`ReplayContext`; returning a mapping triggers a
+   repartitioning (vertices absent from the mapping keep their shard).
+
+The replay engine owns all bookkeeping (assignment, metrics, move
+counting); methods are pure decision logic, which keeps each of the
+paper's five methods to a page.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import random
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.assignment import ShardAssignment
+from repro.core.placement import place_by_min_cut
+from repro.graph.builder import Interaction
+from repro.graph.digraph import WeightedDiGraph
+
+
+@dataclasses.dataclass
+class ReplayContext:
+    """Everything a method may look at when making decisions.
+
+    Attributes:
+        now: end timestamp of the window just processed.
+        k: number of shards.
+        assignment: the live assignment (methods must not mutate it;
+            they return proposed mappings instead).
+        graph: the cumulative blockchain graph up to ``now``.
+        window_interactions: interactions of the window just processed.
+        period_interactions: interactions since the last repartitioning
+            (the R-METIS / TR-METIS / KL input).
+        period_graph: graph of ``period_interactions`` (built lazily by
+            the engine on first access within a window).
+        last_repartition_ts: when the last repartitioning happened
+            (genesis if never).
+        window_dynamic_edge_cut: dynamic edge-cut of the window just
+            processed (TR-METIS trigger input).
+        window_dynamic_balance: dynamic balance of the window just
+            processed (TR-METIS trigger input).
+        rng: the method's own seeded RNG.
+    """
+
+    now: float
+    k: int
+    assignment: ShardAssignment
+    graph: WeightedDiGraph
+    window_interactions: Sequence[Interaction]
+    period_interactions: Sequence[Interaction]
+    last_repartition_ts: float
+    window_dynamic_edge_cut: float
+    window_dynamic_balance: float
+    rng: random.Random
+    _period_graph_cache: Optional[WeightedDiGraph] = None
+
+    @property
+    def period_graph(self) -> WeightedDiGraph:
+        """Reduced graph of interactions since the last repartitioning."""
+        if self._period_graph_cache is None:
+            from repro.graph.builder import build_graph
+
+            self._period_graph_cache = build_graph(self.period_interactions)
+        return self._period_graph_cache
+
+    @property
+    def elapsed_since_repartition(self) -> float:
+        return self.now - self.last_repartition_ts
+
+
+@dataclasses.dataclass(frozen=True)
+class RepartitionEvent:
+    """One repartitioning, as recorded by the replay engine."""
+
+    ts: float
+    moves: int
+    reassigned: int          # vertices covered by the method's proposal
+    reason: str = "periodic"
+
+
+class PartitionMethod(abc.ABC):
+    """Base class of the five methods.
+
+    Subclasses set :attr:`name` and implement :meth:`maybe_repartition`;
+    HASH additionally overrides :meth:`place_vertex`.
+    """
+
+    #: Short method name used in figures and the registry.
+    name: str = "abstract"
+
+    def __init__(self, k: int, seed: int = 0):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+
+    def place_vertex(
+        self,
+        vertex: int,
+        tx_endpoints: Sequence[int],
+        assignment: ShardAssignment,
+    ) -> int:
+        """Shard for a vertex appearing for the first time.
+
+        ``tx_endpoints`` are all accounts involved in the transaction
+        that introduced the vertex.  The default implements the paper's
+        rule: pick the shard that minimises edge-cuts; ties maximise
+        balance.
+        """
+        return place_by_min_cut(vertex, tx_endpoints, assignment)
+
+    @abc.abstractmethod
+    def maybe_repartition(self, ctx: ReplayContext) -> Optional[Mapping[int, int]]:
+        """Return a vertex → shard mapping to repartition, or None.
+
+        The mapping need not cover every vertex: uncovered vertices keep
+        their current shard (this is how R-METIS leaves dormant
+        vertices alone).
+        """
+
+    def describe(self) -> str:
+        """One-line human description, used by the experiment CLI."""
+        return f"{self.name} (k={self.k}, seed={self.seed})"

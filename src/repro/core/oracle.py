@@ -1,0 +1,158 @@
+"""The balance oracle of the distributed KL method.
+
+In the paper's KL design (§II-C) each shard selects vertices whose move
+would reduce edge-cut and reports them to an oracle.  "The oracle
+calculates the probability that each shard should move its selected
+vertices to the other shards so that at the end shards remain balanced.
+The oracle then sends the matrix to all the shards, which exchange
+vertices with each other based on the probability matrix."
+
+We implement the pairwise-exchange rule of Facebook's balanced label
+propagation (the paper's reference [10]): for each ordered shard pair
+(s, t), the oracle permits ``min(demand[s][t], demand[t][s])`` vertices
+to move in each direction — a perfectly balance-preserving swap — so
+the probability attached to (s, t) is that quantity divided by
+``demand[s][t]``.  A relaxation factor allows some one-directional
+slack, bounded by a per-shard weight budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MoveProposal:
+    """One shard's wish to move one vertex to another shard."""
+
+    vertex: int
+    src: int
+    dst: int
+    gain: int       # edge-cut reduction if the move happens (window weights)
+    weight: int = 1  # vertex activity weight, for balance accounting
+
+
+class BalanceOracle:
+    """Computes the k×k migration probability matrix."""
+
+    def __init__(self, k: int, slack: float = 0.0, weighted: bool = True):
+        """Args:
+            slack: ∈ [0, 1], extra one-directional fraction allowed on
+                top of the perfectly balance-preserving pairwise swaps.
+            weighted: match *activity weight* between shard pairs
+                (preserves dynamic balance, the paper's objective)
+                rather than vertex counts (static balance).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 0.0 <= slack <= 1.0:
+            raise ValueError(f"slack must be in [0, 1], got {slack}")
+        self.k = k
+        self.slack = slack
+        self.weighted = weighted
+
+    def demand_matrix(
+        self, proposals: Sequence[MoveProposal]
+    ) -> List[List[int]]:
+        """demand[s][t] = how much shard s wants to send to t
+        (vertex count, or total activity weight when ``weighted``)."""
+        demand = [[0] * self.k for _ in range(self.k)]
+        for p in proposals:
+            if p.src == p.dst:
+                raise ValueError(f"proposal moves vertex {p.vertex} nowhere")
+            demand[p.src][p.dst] += p.weight if self.weighted else 1
+        return demand
+
+    def allowed_matrix(
+        self,
+        proposals: Sequence[MoveProposal],
+        loads: Optional[Sequence[float]] = None,
+    ) -> List[List[float]]:
+        """allowed[s][t] = budget (count or weight) that may move s→t.
+
+        The base budget is the balance-preserving pairwise swap
+        ``min(demand[s][t], demand[t][s])`` plus the ``slack`` fraction
+        of the surplus.  When current shard ``loads`` are supplied, a
+        corrective term additionally lets an *overloaded* shard ship up
+        to half its load surplus toward a lighter shard — this is what
+        makes the oracle keep shards balanced over time rather than
+        merely not making things worse.
+        """
+        demand = self.demand_matrix(proposals)
+        allowed = [[0.0] * self.k for _ in range(self.k)]
+        for s in range(self.k):
+            for t in range(s + 1, self.k):
+                d_st, d_ts = demand[s][t], demand[t][s]
+                base = float(min(d_st, d_ts))
+                extra = self.slack * abs(d_st - d_ts)
+                a_st = base + (extra if d_st > d_ts else 0.0)
+                a_ts = base + (extra if d_ts > d_st else 0.0)
+                if loads is not None:
+                    surplus = (loads[s] - loads[t]) / 2.0
+                    if surplus > 0:
+                        a_st += surplus
+                    else:
+                        a_ts += -surplus
+                allowed[s][t] = min(d_st, a_st)
+                allowed[t][s] = min(d_ts, a_ts)
+        return allowed
+
+    def probability_matrix(
+        self,
+        proposals: Sequence[MoveProposal],
+        loads: Optional[Sequence[float]] = None,
+    ) -> List[List[float]]:
+        """P[s][t] = probability a vertex proposed for s→t may move.
+
+        The diagonal is zero.  With ``slack`` = 0 and no ``loads`` the
+        expected amount moving s→t equals the amount moving t→s, so
+        shard sizes are preserved in expectation; with ``loads`` the
+        probabilities are biased toward draining overloaded shards.
+        """
+        demand = self.demand_matrix(proposals)
+        allowed = self.allowed_matrix(proposals, loads=loads)
+        prob = [[0.0] * self.k for _ in range(self.k)]
+        for s in range(self.k):
+            for t in range(self.k):
+                if s != t and demand[s][t] > 0:
+                    prob[s][t] = min(1.0, allowed[s][t] / demand[s][t])
+        return prob
+
+
+def apply_probability_matrix(
+    proposals: Sequence[MoveProposal],
+    prob: Sequence[Sequence[float]],
+    rng,
+    budgets: Optional[Sequence[Sequence[float]]] = None,
+    weighted: bool = True,
+    prioritize_gain: bool = True,
+) -> Dict[int, int]:
+    """Shards execute the oracle's matrix.
+
+    Each proposal succeeds with probability P[src][dst]; higher-gain
+    proposals draw first so that when the budget is fractional the best
+    moves are favoured.  When ``budgets`` is given, the realised amount
+    moved on each (src, dst) pair is additionally capped at the budget
+    — probabilities alone only bound the move *in expectation*, and a
+    few heavy vertices can otherwise blow the balance.
+
+    Returns the vertex → destination mapping of accepted moves.
+    """
+    accepted: Dict[int, int] = {}
+    spent = [[0.0] * len(prob) for _ in prob] if budgets is not None else None
+    ordered = (
+        sorted(proposals, key=lambda p: (-p.gain, p.vertex))
+        if prioritize_gain
+        else list(proposals)
+    )
+    for p in ordered:
+        cost = float(p.weight if weighted else 1)
+        if spent is not None:
+            if spent[p.src][p.dst] + cost > budgets[p.src][p.dst]:
+                continue
+        if rng.random() < prob[p.src][p.dst]:
+            if spent is not None:
+                spent[p.src][p.dst] += cost
+            accepted[p.vertex] = p.dst
+    return accepted

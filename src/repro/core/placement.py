@@ -1,0 +1,66 @@
+"""New-vertex placement: the paper's min-edge-cut / max-balance rule.
+
+When an account or contract appears for the first time it must be
+assigned to some shard before its transaction can be accounted.  The
+paper (§II-C): "This is done by inspecting all the accounts involved in
+the transaction and picking the shard that minimizes edge-cuts; if more
+than one exists, we maximize the balance."
+
+Alternative rules (hash, random, lightest) are provided for the
+ABL-PLACE ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Optional, Sequence
+
+from repro.core.assignment import ShardAssignment
+from repro.ethereum.types import address_hash
+
+
+def place_by_min_cut(
+    vertex: int,
+    tx_endpoints: Sequence[int],
+    assignment: ShardAssignment,
+) -> int:
+    """Pick the shard minimising new edge-cut, tie-break on balance.
+
+    The shard hosting the most already-assigned endpoints of the
+    transaction minimises the number of freshly-cut edges.  Among
+    equally good shards the emptiest (by vertex count) wins; a vertex
+    with no assigned co-endpoints goes to the emptiest shard outright.
+    """
+    affinity: Counter = Counter()
+    for other in tx_endpoints:
+        if other == vertex:
+            continue
+        shard = assignment.shard_of(other)
+        if shard is not None:
+            affinity[shard] += 1
+
+    if not affinity:
+        return assignment.lightest_shard()
+
+    best_affinity = max(affinity.values())
+    candidates = [s for s, c in affinity.items() if c == best_affinity]
+    if len(candidates) == 1:
+        return candidates[0]
+    counts = assignment.counts
+    return min(candidates, key=lambda s: (counts[s], s))
+
+
+def place_by_hash(vertex: int, k: int) -> int:
+    """The HASH rule: shard = hash(vertex id) mod k."""
+    return address_hash(vertex) % k
+
+
+def place_randomly(k: int, rng: random.Random) -> int:
+    """Uniform random placement (ablation baseline)."""
+    return rng.randrange(k)
+
+
+def place_lightest(assignment: ShardAssignment) -> int:
+    """Always the emptiest shard (pure balance, ignores edges)."""
+    return assignment.lightest_shard()

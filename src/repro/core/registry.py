@@ -1,0 +1,46 @@
+"""Name → method factory, used by the CLI, benchmarks and figures.
+
+Names match the paper's figure legends: ``hash``, ``kl``, ``metis``,
+``p-metis`` (= ``r-metis``), ``tr-metis``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.base import PartitionMethod
+from repro.core.fennel import FennelPartitioner
+from repro.core.hashing import HashPartitioner
+from repro.core.kl import KLPartitioner
+from repro.core.metis_method import MetisPartitioner
+from repro.core.rmetis import RMetisPartitioner
+from repro.core.trmetis import TRMetisPartitioner
+
+_FACTORIES: Dict[str, Callable[..., PartitionMethod]] = {
+    "hash": HashPartitioner,
+    "kl": KLPartitioner,
+    "metis": MetisPartitioner,
+    "r-metis": RMetisPartitioner,
+    "p-metis": RMetisPartitioner,   # the paper's Figs. 4-5 label
+    "tr-metis": TRMetisPartitioner,
+    "fennel": FennelPartitioner,    # extension: streaming placement
+}
+
+#: Canonical order used in the paper's figures (1=HASH ... 5=TR-METIS).
+PAPER_ORDER: List[str] = ["hash", "kl", "metis", "p-metis", "tr-metis"]
+
+
+def available_methods() -> List[str]:
+    """All accepted method names."""
+    return sorted(_FACTORIES)
+
+
+def make_method(name: str, k: int, seed: int = 0, **kwargs) -> PartitionMethod:
+    """Instantiate a partitioning method by its figure-legend name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; available: {', '.join(available_methods())}"
+        ) from None
+    return factory(k, seed=seed, **kwargs)

@@ -1,0 +1,49 @@
+"""Ethereum-like blockchain substrate.
+
+The paper derives its graph from the real Ethereum blockchain.  Offline,
+we substitute a faithful miniature: a world state with externally-owned
+accounts and contracts, a 256-bit stack VM ("EVM-lite") with storage,
+value transfers, nested message calls and gas accounting, blocks and a
+chain that executes them, and a calibrated synthetic workload generator
+reproducing the statistical shape of the Ethereum trace (growth phases,
+the 2016 DoS-attack burst, hub contracts, heavy-tailed degree skew).
+
+The crucial interface to the rest of the library is the *message-call
+trace*: executing a transaction yields the list of caller → callee events
+from which graph edges are derived, exactly as the paper derives edges
+from internal calls (§II-B).
+"""
+
+from repro.ethereum.types import Address, Gas, Wei, address_hash
+from repro.ethereum.account import Account, AccountKind
+from repro.ethereum.state import WorldState
+from repro.ethereum.transaction import Receipt, Transaction
+from repro.ethereum.block import Block, BlockHeader
+from repro.ethereum.chain import Blockchain
+from repro.ethereum.evm import EVM, assemble, disassemble
+from repro.ethereum.trace import CallKind, MessageCall, TransactionTrace
+from repro.ethereum.workload import WorkloadConfig, WorkloadGenerator, generate_history
+
+__all__ = [
+    "Address",
+    "Gas",
+    "Wei",
+    "address_hash",
+    "Account",
+    "AccountKind",
+    "WorldState",
+    "Transaction",
+    "Receipt",
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "EVM",
+    "assemble",
+    "disassemble",
+    "CallKind",
+    "MessageCall",
+    "TransactionTrace",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "generate_history",
+]

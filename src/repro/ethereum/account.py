@@ -1,0 +1,80 @@
+"""Accounts: externally-owned accounts (EOAs) and contract accounts.
+
+Both share the Ethereum account model: a balance, a nonce, and — for
+contracts — code plus a key→value storage.  Storage maps 256-bit keys to
+256-bit values ("a database mapping 32-byte keys to 32-byte values",
+paper §II-A); reading an absent key yields zero, and writing zero deletes
+the key, like the real state trie.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.ethereum.types import Address, Wei, to_word
+
+
+class AccountKind(enum.Enum):
+    EOA = "eoa"
+    CONTRACT = "contract"
+
+
+@dataclasses.dataclass
+class Account:
+    """One entry of the world state."""
+
+    address: Address
+    kind: AccountKind
+    balance: Wei = 0
+    nonce: int = 0
+    code: Tuple[int, ...] = ()
+    storage: Dict[int, int] = dataclasses.field(default_factory=dict)
+    created_at: float = 0.0
+
+    @property
+    def is_contract(self) -> bool:
+        return self.kind is AccountKind.CONTRACT
+
+    def storage_read(self, key: int) -> int:
+        """SLOAD semantics: absent keys read as zero."""
+        return self.storage.get(to_word(key), 0)
+
+    def storage_write(self, key: int, value: int) -> None:
+        """SSTORE semantics: writing zero deletes the slot."""
+        key = to_word(key)
+        value = to_word(value)
+        if value == 0:
+            self.storage.pop(key, None)
+        else:
+            self.storage[key] = value
+
+    @property
+    def storage_size(self) -> int:
+        """Number of non-zero storage slots.
+
+        This is the quantity that matters for the paper's moves metric
+        discussion: "if the vertex is a contract, [moving it] would
+        result in moving the entire contract storage to another shard."
+        """
+        return len(self.storage)
+
+    def state_bytes(self) -> int:
+        """Approximate serialized state size, for migration cost models.
+
+        Balance + nonce ≈ 40 bytes; each storage slot is a 32-byte key
+        plus 32-byte value; code is one byte per instruction word.
+        """
+        return 40 + 64 * len(self.storage) + len(self.code)
+
+    def copy(self) -> "Account":
+        return Account(
+            address=self.address,
+            kind=self.kind,
+            balance=self.balance,
+            nonce=self.nonce,
+            code=self.code,
+            storage=dict(self.storage),
+            created_at=self.created_at,
+        )

@@ -1,0 +1,75 @@
+"""Blocks and block headers.
+
+Blocks package transactions and link to their parent by hash, forming
+the chain (paper §I).  Proof-of-work is modelled as a recorded nonce and
+difficulty field without actually grinding hashes — mining effort is
+irrelevant to the partitioning analysis, but the structural chain
+integrity (parent hashes, monotone numbers and timestamps, gas limits)
+is enforced by :mod:`repro.ethereum.chain` and tested.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Optional, Tuple
+
+from repro.ethereum.transaction import Transaction
+from repro.ethereum.types import Address, Gas
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockHeader:
+    number: int
+    parent_hash: int
+    timestamp: float
+    miner: Address
+    gas_limit: Gas
+    gas_used: Gas = 0
+    difficulty: int = 1
+    nonce: int = 0
+
+    def hash(self) -> int:
+        """Deterministic 64-bit header hash (blake2b over the fields)."""
+        payload = (
+            f"{self.number}|{self.parent_hash}|{self.timestamp:.6f}|"
+            f"{self.miner}|{self.gas_limit}|{self.gas_used}|"
+            f"{self.difficulty}|{self.nonce}"
+        ).encode()
+        return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "little")
+
+
+@dataclasses.dataclass(frozen=True)
+class Block:
+    header: BlockHeader
+    transactions: Tuple[Transaction, ...] = ()
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def timestamp(self) -> float:
+        return self.header.timestamp
+
+    def hash(self) -> int:
+        return self.header.hash()
+
+    @property
+    def num_transactions(self) -> int:
+        return len(self.transactions)
+
+
+GENESIS_HASH = 0
+
+
+def make_genesis(timestamp: float = 0.0, miner: Address = 0, gas_limit: Gas = 10_000_000) -> Block:
+    """The canonical genesis block (no transactions, parent hash 0)."""
+    header = BlockHeader(
+        number=0,
+        parent_hash=GENESIS_HASH,
+        timestamp=timestamp,
+        miner=miner,
+        gas_limit=gas_limit,
+    )
+    return Block(header=header)

@@ -1,0 +1,148 @@
+"""The blockchain: block validation, execution and trace emission.
+
+The chain owns the world state and the EVM.  Appending a block validates
+it structurally (parent hash, monotone number and timestamp, gas limit),
+executes every transaction, credits the miner with the block reward plus
+fees, and emits one :class:`~repro.ethereum.trace.TransactionTrace` per
+transaction.  Traces are the raw material of the blockchain graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidBlockError, InvalidTransactionError
+from repro.ethereum.block import Block, BlockHeader, make_genesis
+from repro.ethereum.evm import EVM
+from repro.ethereum.state import WorldState
+from repro.ethereum.trace import TransactionTrace
+from repro.ethereum.transaction import Receipt, Transaction
+from repro.ethereum.types import Address, Gas, Wei
+
+#: Miner reward per block (5 ether pre-Byzantium; units are arbitrary).
+BLOCK_REWARD: Wei = 5_000_000_000
+
+
+class Blockchain:
+    """A single-fork chain executing blocks against a world state.
+
+    ``trace_sink`` (if given) receives every transaction trace as it is
+    produced; the replay pipeline uses this to stream interactions into
+    the graph builder without buffering the whole history.
+    """
+
+    def __init__(
+        self,
+        state: Optional[WorldState] = None,
+        trace_sink: Optional[Callable[[TransactionTrace], None]] = None,
+        keep_traces: bool = True,
+    ):
+        self.state = state if state is not None else WorldState()
+        self.evm = EVM(self.state)
+        self.blocks: List[Block] = [make_genesis()]
+        self.receipts: List[Receipt] = []
+        self.traces: List[TransactionTrace] = []
+        self._trace_sink = trace_sink
+        self._keep_traces = keep_traces
+
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> Block:
+        return self.blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self.head.number
+
+    def validate_header(self, header: BlockHeader) -> None:
+        """Structural validation against the current head."""
+        head = self.head
+        if header.number != head.number + 1:
+            raise InvalidBlockError(
+                f"block number {header.number}, expected {head.number + 1}"
+            )
+        if header.parent_hash != head.hash():
+            raise InvalidBlockError(
+                f"parent hash mismatch at block {header.number}"
+            )
+        if header.timestamp < head.timestamp:
+            raise InvalidBlockError(
+                f"timestamp {header.timestamp} before parent {head.timestamp}"
+            )
+        if header.gas_limit <= 0:
+            raise InvalidBlockError("non-positive gas limit")
+
+    def add_block(
+        self,
+        transactions: Sequence[Transaction],
+        timestamp: float,
+        miner: Address,
+        gas_limit: Gas = 10_000_000,
+    ) -> Tuple[Block, List[Receipt]]:
+        """Build, validate, execute and append the next block.
+
+        Transactions that fail chain-level validation (bad nonce,
+        unaffordable) are rejected with :class:`InvalidTransactionError`
+        — block producers are expected to only include valid
+        transactions, as real miners do.  EVM-level failures yield
+        failed receipts but stay in the block.
+        """
+        header = BlockHeader(
+            number=self.head.number + 1,
+            parent_hash=self.head.hash(),
+            timestamp=timestamp,
+            miner=miner,
+            gas_limit=gas_limit,
+        )
+        self.validate_header(header)
+
+        receipts: List[Receipt] = []
+        gas_used_total = 0
+        for tx in transactions:
+            if gas_used_total + tx.gas_limit > gas_limit:
+                raise InvalidBlockError(
+                    f"block gas limit exceeded at tx {tx.tx_id}"
+                )
+            receipt, trace = self.evm.execute_transaction(tx, timestamp, miner=miner)
+            receipts.append(receipt)
+            gas_used_total += receipt.gas_used
+            if self._trace_sink is not None:
+                self._trace_sink(trace)
+            if self._keep_traces:
+                self.traces.append(trace)
+
+        if miner in self.state:
+            self.state.add_balance(miner, BLOCK_REWARD)
+        self.state.discard_journal()
+
+        header = BlockHeader(
+            number=header.number,
+            parent_hash=header.parent_hash,
+            timestamp=header.timestamp,
+            miner=header.miner,
+            gas_limit=header.gas_limit,
+            gas_used=gas_used_total,
+        )
+        block = Block(header=header, transactions=tuple(transactions))
+        self.blocks.append(block)
+        self.receipts.extend(receipts)
+        return block, receipts
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(b.num_transactions for b in self.blocks)
+
+    def verify_chain(self) -> bool:
+        """Re-check hash linkage of the whole chain (integrity test)."""
+        for parent, child in zip(self.blocks, self.blocks[1:]):
+            if child.header.parent_hash != parent.hash():
+                return False
+            if child.number != parent.number + 1:
+                return False
+            if child.timestamp < parent.timestamp:
+                return False
+        return True

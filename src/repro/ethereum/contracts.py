@@ -1,0 +1,126 @@
+"""Standard contract programs used by the synthetic workload.
+
+Each function returns assembled EVM-lite code.  The programs mirror the
+contract archetypes that dominate the real Ethereum graph:
+
+* **token** — an ERC-20-style ledger: balances live in contract storage
+  keyed by address; a transfer touches only the contract (graph-wise,
+  the edge is sender → token), which is why token hubs are
+  high-in-degree vertices;
+* **exchange / hub** — receives value and pays out to an address given
+  in calldata, creating *internal* contract → account edges;
+* **mixer** — fans value out to three calldata addresses (one
+  transaction, several internal edges — like contract 9703 in the
+  paper's Fig. 2);
+* **wallet** — forwards its call value to a fixed owner stored at slot 0
+  (set via initialization storage);
+* **factory** — CREATEs a new contract from a calldata template id
+  (exercises contract-creates-contract edges);
+* **dummy** — a single STOP; the attack-period state-bloat target.
+
+Stack-effect comments use ``[bottom ... top]`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ethereum.evm import assemble
+
+#: Gas forwarded on internal calls by the standard programs.
+FORWARD_GAS = 30_000
+
+
+def token_code() -> Tuple[int, ...]:
+    """ERC-20-style transfer: ``data = (recipient, amount)``.
+
+    ``balances[recipient] += amount; balances[caller] -= amount`` with
+    256-bit wraparound (the synthetic workload never overdraws, and the
+    paper's graph does not care about token accounting anyway).
+    """
+    return assemble([
+        ("PUSH", 0), "CALLDATALOAD",      # [recipient]
+        ("DUP", 1), "SLOAD",              # [recipient, bal_r]
+        ("PUSH", 1), "CALLDATALOAD",      # [recipient, bal_r, amount]
+        "ADD",                            # [recipient, bal_r + amount]
+        ("SWAP", 1),                      # [bal_r + amount, recipient]
+        "SSTORE",                         # balances[recipient] updated
+        "CALLER", "SLOAD",                # [bal_c]
+        ("PUSH", 1), "CALLDATALOAD",      # [bal_c, amount]
+        ("SWAP", 1),                      # [amount, bal_c]
+        "SUB",                            # [bal_c - amount]
+        "CALLER",                         # [newbal, caller]
+        "SSTORE",                         # balances[caller] updated
+        "STOP",
+    ])
+
+
+def exchange_code() -> Tuple[int, ...]:
+    """Pay out half the call value to ``data[0]``."""
+    return assemble([
+        ("PUSH", 0), "CALLDATALOAD",      # [addr]
+        "CALLVALUE",                      # [addr, value]
+        ("PUSH", 2), ("SWAP", 1), "DIV",  # [addr, value // 2]
+        ("SWAP", 1),                      # [value // 2, addr]
+        ("PUSH", FORWARD_GAS),            # [value // 2, addr, gas]
+        "CALL", "POP",
+        "STOP",
+    ])
+
+
+def mixer_code() -> Tuple[int, ...]:
+    """Send a quarter of the call value to each of ``data[0..2]``."""
+    program = []
+    for i in range(3):
+        program += [
+            "CALLVALUE",
+            ("PUSH", 4), ("SWAP", 1), "DIV",   # [value // 4]
+            ("PUSH", i), "CALLDATALOAD",       # [value // 4, addr_i]
+            ("PUSH", FORWARD_GAS),             # [value // 4, addr_i, gas]
+            "CALL", "POP",
+        ]
+    program.append("STOP")
+    return assemble(program)
+
+
+def wallet_code() -> Tuple[int, ...]:
+    """Forward the whole call value to the owner stored at slot 0."""
+    return assemble([
+        ("PUSH", 0), "SLOAD",             # [owner]
+        "CALLVALUE",                      # [owner, value]
+        ("SWAP", 1),                      # [value, owner]
+        ("PUSH", FORWARD_GAS),            # [value, owner, gas]
+        "CALL", "POP",
+        "STOP",
+    ])
+
+
+def factory_code() -> Tuple[int, ...]:
+    """CREATE a contract from template id ``data[0]`` with zero value."""
+    return assemble([
+        ("PUSH", 0),                      # [value = 0]
+        ("PUSH", 0), "CALLDATALOAD",      # [value, template_id]
+        "CREATE", "POP",
+        "STOP",
+    ])
+
+
+def spammer_code(fanout: int = 4) -> Tuple[int, ...]:
+    """Attack-period spammer: zero-value CALL to ``fanout`` calldata
+    addresses, touching (and thereby materialising in the graph) fresh
+    throwaway accounts."""
+    program = []
+    for i in range(fanout):
+        program += [
+            ("PUSH", 0),                  # [value = 0]
+            ("PUSH", i), "CALLDATALOAD",  # [value, addr_i]
+            ("PUSH", 5_000),              # [value, addr_i, gas]
+            "CALL", "POP",
+        ]
+    program.append("STOP")
+    return assemble(program)
+
+
+def dummy_code() -> Tuple[int, ...]:
+    """A contract that does nothing (attack-period state bloat)."""
+    return assemble(["STOP"])

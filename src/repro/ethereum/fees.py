@@ -1,0 +1,197 @@
+"""Resource metering and fee attribution (paper final remarks).
+
+The paper closes: "In case of a generic framework such as Ethereum,
+there are three main components that need to be addressed: computation,
+storage and bandwidth [Chepurnoy et al., 2018/078].  All of these
+components play an important role in partitioning."
+
+This module makes those components first-class:
+
+* :class:`ResourceVector` — (computation, storage, bandwidth) usage;
+* :func:`meter_transaction` — derive a transaction's vector from its
+  receipt and trace: computation = gas used, storage = net state-slot
+  delta (bytes), bandwidth = serialized calls that crossed shards under
+  a given assignment;
+* :class:`FeeSchedule` — prices a vector, with a configurable
+  cross-shard surcharge (multi-shard coordination is the scarce
+  resource sharding introduces);
+* :class:`ShardResourceAccounting` — per-shard accumulation over a
+  replay, answering "which shard does the work and who pays for the
+  cross-shard traffic" for each partitioning method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ethereum.trace import TransactionTrace
+from repro.ethereum.transaction import Receipt
+from repro.ethereum.types import Wei
+
+#: Serialized size of one message call on the wire (envelope + payload).
+CALL_WIRE_BYTES = 120
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceVector:
+    """Usage along the paper's three resource axes."""
+
+    computation: int = 0   # gas units
+    storage: int = 0       # net bytes of persistent state added (>= 0)
+    bandwidth: int = 0     # bytes that crossed shard boundaries
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            computation=self.computation + other.computation,
+            storage=self.storage + other.storage,
+            bandwidth=self.bandwidth + other.bandwidth,
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return self.computation == 0 and self.storage == 0 and self.bandwidth == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class FeeSchedule:
+    """Prices per resource unit, in wei.
+
+    ``cross_shard_multiplier`` scales the *bandwidth* charge: bandwidth
+    here is by construction cross-shard traffic, the resource a sharded
+    deployment must ration hardest.
+    """
+
+    computation_price: Wei = 1          # wei per gas
+    storage_price: Wei = 20             # wei per byte of new state
+    bandwidth_price: Wei = 5            # wei per cross-shard byte
+    cross_shard_multiplier: float = 2.0
+
+    def price(self, usage: ResourceVector) -> Wei:
+        return int(
+            usage.computation * self.computation_price
+            + usage.storage * self.storage_price
+            + usage.bandwidth * self.bandwidth_price * self.cross_shard_multiplier
+        )
+
+
+def meter_transaction(
+    receipt: Receipt,
+    trace: TransactionTrace,
+    storage_delta_slots: int = 0,
+    assignment: Optional[Mapping[int, int]] = None,
+) -> ResourceVector:
+    """Meter one executed transaction.
+
+    Args:
+        receipt: the execution receipt (gas used).
+        trace: the message-call trace.
+        storage_delta_slots: net storage slots created by the
+            transaction (callers track it via
+            ``WorldState.total_storage_slots`` before/after).
+        assignment: vertex → shard; when given, every call whose
+            endpoints live on different shards contributes wire bytes
+            to the bandwidth component.  Without an assignment the
+            bandwidth component is zero (unsharded deployment).
+    """
+    bandwidth = 0
+    if assignment is not None:
+        for call in trace.calls:
+            src = assignment.get(call.caller)
+            dst = assignment.get(call.callee)
+            if src is not None and dst is not None and src != dst:
+                bandwidth += CALL_WIRE_BYTES
+    return ResourceVector(
+        computation=receipt.gas_used,
+        storage=max(0, storage_delta_slots) * 64,
+        bandwidth=bandwidth,
+    )
+
+
+@dataclasses.dataclass
+class ShardResourceAccounting:
+    """Per-shard resource totals plus fee attribution."""
+
+    k: int
+    schedule: FeeSchedule = dataclasses.field(default_factory=FeeSchedule)
+    per_shard: List[ResourceVector] = dataclasses.field(default_factory=list)
+    total_fees: Wei = 0
+    cross_shard_fees: Wei = 0
+    transactions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if not self.per_shard:
+            self.per_shard = [ResourceVector() for _ in range(self.k)]
+
+    def charge(
+        self,
+        usage: ResourceVector,
+        home_shard: int,
+        touched_shards: Sequence[int] = (),
+    ) -> Wei:
+        """Account a transaction's usage and return the fee charged.
+
+        Computation and storage accrue to the *home* shard (where the
+        transaction's entry account lives); bandwidth is split evenly
+        across every shard it touched, since each of them did
+        coordination work.
+        """
+        if not 0 <= home_shard < self.k:
+            raise ValueError(f"home shard {home_shard} out of range")
+        self.transactions += 1
+        comp_store = ResourceVector(
+            computation=usage.computation, storage=usage.storage
+        )
+        self.per_shard[home_shard] = self.per_shard[home_shard] + comp_store
+        involved = [s for s in dict.fromkeys(touched_shards) if 0 <= s < self.k]
+        if usage.bandwidth and involved:
+            share = usage.bandwidth // len(involved)
+            for s in involved:
+                self.per_shard[s] = self.per_shard[s] + ResourceVector(
+                    bandwidth=share
+                )
+        fee = self.schedule.price(usage)
+        self.total_fees += fee
+        self.cross_shard_fees += fee - self.schedule.price(
+            ResourceVector(computation=usage.computation, storage=usage.storage)
+        )
+        return fee
+
+    @property
+    def fee_imbalance(self) -> float:
+        """max/mean of per-shard priced work — Eq. 2 for revenue."""
+        priced = [self.schedule.price(v) for v in self.per_shard]
+        total = sum(priced)
+        if total == 0:
+            return 1.0
+        return max(priced) * self.k / total
+
+    @property
+    def cross_shard_fee_share(self) -> float:
+        """Fraction of all fees caused by cross-shard bandwidth."""
+        if self.total_fees == 0:
+            return 0.0
+        return self.cross_shard_fees / self.total_fees
+
+
+def account_replay(
+    traces: Iterable[Tuple[Receipt, TransactionTrace]],
+    assignment: Mapping[int, int],
+    k: int,
+    schedule: Optional[FeeSchedule] = None,
+) -> ShardResourceAccounting:
+    """Run fee accounting over (receipt, trace) pairs under an
+    assignment — the EXT-FEES experiment core."""
+    acct = ShardResourceAccounting(k=k, schedule=schedule or FeeSchedule())
+    for receipt, trace in traces:
+        usage = meter_transaction(receipt, trace, assignment=assignment)
+        touched = [
+            s for s in (
+                assignment.get(a) for a in trace.touched_addresses()
+            ) if s is not None
+        ]
+        home = touched[0] if touched else 0
+        acct.charge(usage, home_shard=home, touched_shards=touched)
+    return acct

@@ -1,0 +1,67 @@
+"""Protocol eras: fork-dependent gas repricing (paper Fig. 1 landmarks).
+
+Ethereum's consensus rules "have been revised (i.e., forked) many
+times" (paper §II-A).  One fork matters *causally* to this study:
+**EIP-150** (Oct 2016) repriced state-access opcodes precisely because
+the autumn-2016 DoS attack — the event that distorts METIS's balance in
+the paper — exploited their underpricing.
+
+An :class:`Era` carries the repriced costs; :func:`era_at` maps a
+timestamp to the era in force, and the EVM consults it per transaction.
+Costs before EIP-150 match the launch schedule (SLOAD 50, CALL 40,
+BALANCE 20); afterwards the familiar 200/700/400.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.ethereum.history import date_to_ts
+
+
+@dataclasses.dataclass(frozen=True)
+class Era:
+    """Gas costs that changed across the forks we model."""
+
+    name: str
+    start_ts: float
+    sload_cost: int
+    call_cost: int
+    balance_cost: int
+
+
+def _ts(year: int, month: int, day: int) -> float:
+    import datetime
+
+    return date_to_ts(datetime.date(year, month, day))
+
+
+#: Eras in force over the study period, ascending by start time.
+ERAS: Tuple[Era, ...] = (
+    Era(name="frontier", start_ts=float("-inf"),
+        sload_cost=50, call_cost=40, balance_cost=20),
+    # Homestead (Mar 2016) did not touch these costs; listed for the
+    # timeline's sake with identical pricing.
+    Era(name="homestead", start_ts=_ts(2016, 3, 14),
+        sload_cost=50, call_cost=40, balance_cost=20),
+    # EIP-150 "gas cost changes for IO-heavy operations" — the direct
+    # protocol response to the DoS attack.
+    Era(name="eip150", start_ts=_ts(2016, 10, 18),
+        sload_cost=200, call_cost=700, balance_cost=400),
+)
+
+
+def era_at(ts: float) -> Era:
+    """The era in force at simulated timestamp ``ts``."""
+    current = ERAS[0]
+    for era in ERAS:
+        if ts >= era.start_ts:
+            current = era
+        else:
+            break
+    return current
+
+
+def era_names() -> List[str]:
+    return [e.name for e in ERAS]

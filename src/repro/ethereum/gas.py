@@ -1,0 +1,77 @@
+"""Gas schedule for EVM-lite.
+
+Constants follow the spirit (and rough magnitudes) of Ethereum's yellow
+paper schedule: storage writes are expensive, calls carry a base fee plus
+a stipend mechanism, arithmetic is cheap.  The absolute values only need
+to be *relatively* sensible — the workload generator budgets gas limits
+from these constants, and the paper's analysis never depends on exact
+gas numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Intrinsic cost charged to every transaction before execution.
+G_TRANSACTION = 21_000
+
+#: Per-byte cost of transaction data.
+G_TXDATA = 16
+
+#: Cheap stack/arithmetic ops.
+G_BASE = 2
+G_VERYLOW = 3
+G_LOW = 5
+
+#: Storage.
+G_SLOAD = 200
+G_SSTORE_SET = 20_000    # writing a non-zero value into a zero slot
+G_SSTORE_RESET = 5_000   # overwriting / zeroing an existing slot
+R_SSTORE_CLEAR = 15_000  # refund for clearing a slot (capped at 1/2 used)
+
+#: Calls.
+G_CALL = 700
+G_CALLVALUE = 9_000      # surcharge when a call transfers value
+G_CALLSTIPEND = 2_300    # stipend passed to the callee on value transfer
+G_NEWACCOUNT = 25_000    # surcharge when the callee did not exist
+
+#: Contract creation.
+G_CREATE = 32_000
+
+#: Jumps.
+G_JUMPDEST = 1
+G_MID = 8                # JUMP
+G_HIGH = 10              # JUMPI
+
+#: Environment reads (CALLER, ADDRESS, BALANCE, CALLDATALOAD, ...).
+G_BALANCE = 400
+G_ENV = 2
+
+
+def sstore_cost(old_value: int, new_value: int) -> int:
+    """Gas for an SSTORE given the slot's old and new values."""
+    if old_value == 0 and new_value != 0:
+        return G_SSTORE_SET
+    return G_SSTORE_RESET
+
+
+def sstore_refund(old_value: int, new_value: int) -> int:
+    """Refund earned by an SSTORE (clearing a slot refunds gas)."""
+    if old_value != 0 and new_value == 0:
+        return R_SSTORE_CLEAR
+    return 0
+
+
+def intrinsic_gas(data_len: int) -> int:
+    """Intrinsic transaction cost: base fee plus data fee."""
+    return G_TRANSACTION + G_TXDATA * data_len
+
+
+def call_cost(transfers_value: bool, callee_exists: bool) -> int:
+    """Up-front gas for a CALL, excluding the gas forwarded."""
+    cost = G_CALL
+    if transfers_value:
+        cost += G_CALLVALUE
+    if not callee_exists:
+        cost += G_NEWACCOUNT
+    return cost

@@ -1,0 +1,82 @@
+"""Timeline of the Ethereum history the paper analyses (Fig. 1).
+
+The paper's trace spans the chain's conception (30 July 2015) to the
+start of 2018, annotated with protocol forks and the autumn-2016 DoS
+attack.  We reproduce the same timeline in *simulated seconds since
+genesis*; the constants here are the single source of truth for the
+workload generator, the analysis code and the figure labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+from typing import List, Tuple
+
+from repro.graph.snapshot import DAY
+
+#: Real-world genesis date of the Ethereum main net.
+GENESIS_DATE = _dt.date(2015, 7, 30)
+
+#: End of the study period (paper uses data up to the start of 2018).
+END_DATE = _dt.date(2018, 1, 1)
+
+
+def date_to_ts(date: _dt.date) -> float:
+    """Simulated timestamp (seconds since genesis) of a calendar date."""
+    return (date - GENESIS_DATE).days * DAY
+
+
+def ts_to_date(ts: float) -> _dt.date:
+    """Calendar date of a simulated timestamp."""
+    return GENESIS_DATE + _dt.timedelta(days=ts / DAY)
+
+
+def month_label(ts: float) -> str:
+    """Label in the paper's ``MM.YY`` axis style (e.g. ``09.16``)."""
+    d = ts_to_date(ts)
+    return f"{d.month:02d}.{d.year % 100:02d}"
+
+
+#: Total study duration in days.
+STUDY_DAYS = (END_DATE - GENESIS_DATE).days
+
+#: Fork / event landmarks (name, date) as the paper's Fig. 1 dashed lines.
+LANDMARKS: List[Tuple[str, _dt.date]] = [
+    ("Homestead", _dt.date(2016, 3, 14)),
+    ("DAO", _dt.date(2016, 7, 20)),
+    ("Attack", _dt.date(2016, 9, 18)),
+    ("EIP150", _dt.date(2016, 10, 18)),
+    ("EIP155&158", _dt.date(2016, 11, 22)),
+    ("Byzantium", _dt.date(2017, 10, 16)),
+]
+
+#: The DoS-attack window during which dummy accounts flooded the chain.
+ATTACK_START = date_to_ts(_dt.date(2016, 9, 18))
+ATTACK_END = date_to_ts(_dt.date(2016, 10, 18))
+
+#: Until roughly October 2016 growth was exponential; afterwards
+#: superlinear (paper §I).
+GROWTH_REGIME_CHANGE = date_to_ts(_dt.date(2016, 10, 18))
+
+#: The four 2017 sub-periods of Fig. 4, as (label, start, end) in ts.
+FIG4_PERIODS: List[Tuple[str, float, float]] = [
+    ("01.17 - 06.17", date_to_ts(_dt.date(2017, 1, 1)), date_to_ts(_dt.date(2017, 6, 1))),
+    ("06.17 - 09.17", date_to_ts(_dt.date(2017, 6, 1)), date_to_ts(_dt.date(2017, 9, 1))),
+    ("09.17 - 12.17", date_to_ts(_dt.date(2017, 9, 1)), date_to_ts(_dt.date(2017, 12, 1))),
+    ("12.17 - 01.18", date_to_ts(_dt.date(2017, 12, 1)), date_to_ts(_dt.date(2018, 1, 1))),
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Landmark:
+    name: str
+    ts: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} ({month_label(self.ts)})"
+
+
+def landmarks() -> List[Landmark]:
+    return [Landmark(name, date_to_ts(date)) for name, date in LANDMARKS]

@@ -1,0 +1,159 @@
+"""The world state: all accounts, with journaled mutation for reverts.
+
+EVM semantics require that a failing message call reverts *all* state
+changes made inside its frame while keeping changes of enclosing frames.
+We implement this with a journal of undo entries: :meth:`snapshot`
+records the journal length, :meth:`revert_to` pops and undoes entries
+back to it — the same design as go-ethereum's ``journal``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import InsufficientBalanceError, UnknownAccountError
+from repro.ethereum.account import Account, AccountKind
+from repro.ethereum.types import Address, Wei
+
+
+class WorldState:
+    """All accounts, addressed by compact sequential ids."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[Address, Account] = {}
+        self._next_address: Address = 0
+        # journal of undo closures; snapshot = index into this list
+        self._journal: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # account management
+
+    def allocate_address(self) -> Address:
+        addr = self._next_address
+        self._next_address += 1
+        return addr
+
+    def create_eoa(self, balance: Wei = 0, timestamp: float = 0.0) -> Account:
+        """Create a fresh externally-owned account."""
+        addr = self.allocate_address()
+        acct = Account(addr, AccountKind.EOA, balance=balance, created_at=timestamp)
+        self._accounts[addr] = acct
+        self._journal.append(lambda a=addr: self._undo_create(a))
+        return acct
+
+    def create_contract(
+        self,
+        code: tuple,
+        balance: Wei = 0,
+        timestamp: float = 0.0,
+        initial_storage: Optional[Dict[int, int]] = None,
+    ) -> Account:
+        """Create a fresh contract account with the given code.
+
+        ``initial_storage`` models the contract's initialization code
+        having run at creation (paper §II-A: "the initial contract state
+        can be set by using an initialization code").
+        """
+        addr = self.allocate_address()
+        acct = Account(
+            addr,
+            AccountKind.CONTRACT,
+            balance=balance,
+            code=tuple(code),
+            storage=dict(initial_storage or {}),
+            created_at=timestamp,
+        )
+        self._accounts[addr] = acct
+        self._journal.append(lambda a=addr: self._undo_create(a))
+        return acct
+
+    def _undo_create(self, address: Address) -> None:
+        self._accounts.pop(address, None)
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self._accounts
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def get(self, address: Address) -> Account:
+        try:
+            return self._accounts[address]
+        except KeyError:
+            raise UnknownAccountError(address) from None
+
+    def get_optional(self, address: Address) -> Optional[Account]:
+        return self._accounts.get(address)
+
+    def accounts(self) -> Iterator[Account]:
+        return iter(self._accounts.values())
+
+    def addresses(self) -> Iterator[Address]:
+        return iter(self._accounts)
+
+    # ------------------------------------------------------------------
+    # journaled mutation
+
+    def snapshot(self) -> int:
+        """Mark the current journal position for a later revert."""
+        return len(self._journal)
+
+    def revert_to(self, snapshot: int) -> None:
+        """Undo all mutations made since ``snapshot`` (LIFO order)."""
+        while len(self._journal) > snapshot:
+            undo = self._journal.pop()
+            undo()
+
+    def discard_journal(self) -> None:
+        """Forget undo history (call at transaction commit)."""
+        self._journal.clear()
+
+    def add_balance(self, address: Address, amount: Wei) -> None:
+        acct = self.get(address)
+        old = acct.balance
+        acct.balance = old + amount
+        self._journal.append(lambda a=acct, b=old: setattr(a, "balance", b))
+
+    def sub_balance(self, address: Address, amount: Wei) -> None:
+        acct = self.get(address)
+        if acct.balance < amount:
+            raise InsufficientBalanceError(
+                f"account {address} balance {acct.balance} < {amount}"
+            )
+        old = acct.balance
+        acct.balance = old - amount
+        self._journal.append(lambda a=acct, b=old: setattr(a, "balance", b))
+
+    def transfer(self, src: Address, dst: Address, amount: Wei) -> None:
+        """Move value between accounts (journaled, all-or-nothing)."""
+        if amount < 0:
+            raise ValueError(f"negative transfer amount: {amount}")
+        self.sub_balance(src, amount)
+        self.add_balance(dst, amount)
+
+    def increment_nonce(self, address: Address) -> None:
+        acct = self.get(address)
+        old = acct.nonce
+        acct.nonce = old + 1
+        self._journal.append(lambda a=acct, n=old: setattr(a, "nonce", n))
+
+    def storage_write(self, address: Address, key: int, value: int) -> None:
+        acct = self.get(address)
+        old = acct.storage_read(key)
+        acct.storage_write(key, value)
+        self._journal.append(lambda a=acct, k=key, v=old: a.storage_write(k, v))
+
+    def storage_read(self, address: Address, key: int) -> int:
+        return self.get(address).storage_read(key)
+
+    # ------------------------------------------------------------------
+    # global invariant helpers (used by property tests)
+
+    def total_balance(self) -> Wei:
+        return sum(a.balance for a in self._accounts.values())
+
+    def total_storage_slots(self) -> int:
+        return sum(a.storage_size for a in self._accounts.values())

@@ -1,0 +1,88 @@
+"""Message-call traces: the bridge from execution to the graph.
+
+Executing a transaction yields a :class:`TransactionTrace` — the ordered
+list of message calls (top-level activation plus internal calls and
+transfers).  The paper's graph rule (§II-B) maps each call to a directed
+edge caller → callee; :meth:`TransactionTrace.to_interactions` performs
+exactly that mapping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, List, Tuple
+
+from repro.ethereum.types import Address, Wei
+from repro.graph.builder import Interaction
+from repro.graph.digraph import VertexKind
+
+
+class CallKind(enum.Enum):
+    """How the callee was reached."""
+
+    TRANSFER = "transfer"  # pure value transfer (callee may be EOA or contract)
+    CALL = "call"          # contract activation with code execution
+    CREATE = "create"      # contract creation
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageCall:
+    """One caller → callee event inside a transaction."""
+
+    kind: CallKind
+    caller: Address
+    callee: Address
+    value: Wei
+    depth: int
+    caller_is_contract: bool
+    callee_is_contract: bool
+    success: bool = True
+
+    def endpoints(self) -> Tuple[Address, Address]:
+        return self.caller, self.callee
+
+
+@dataclasses.dataclass
+class TransactionTrace:
+    """All message calls of one executed transaction."""
+
+    tx_id: int
+    timestamp: float
+    calls: List[MessageCall] = dataclasses.field(default_factory=list)
+    succeeded: bool = True
+    gas_used: int = 0
+
+    def record(self, call: MessageCall) -> None:
+        self.calls.append(call)
+
+    @property
+    def num_calls(self) -> int:
+        return len(self.calls)
+
+    def touched_addresses(self) -> Tuple[Address, ...]:
+        """Every distinct address involved, in first-touch order."""
+        seen = {}
+        for c in self.calls:
+            seen.setdefault(c.caller, None)
+            seen.setdefault(c.callee, None)
+        return tuple(seen)
+
+    def to_interactions(self, include_failed: bool = True) -> Iterator[Interaction]:
+        """Map message calls to graph interactions (paper §II-B).
+
+        Failed internal calls are included by default: the paper builds
+        the graph from observed calls, and a failed call still crossed
+        shards (the coordination cost is paid regardless of outcome).
+        """
+        for c in self.calls:
+            if not include_failed and not c.success:
+                continue
+            yield Interaction(
+                timestamp=self.timestamp,
+                src=c.caller,
+                dst=c.callee,
+                src_kind=VertexKind.CONTRACT if c.caller_is_contract else VertexKind.ACCOUNT,
+                dst_kind=VertexKind.CONTRACT if c.callee_is_contract else VertexKind.ACCOUNT,
+                tx_id=self.tx_id,
+            )

@@ -1,0 +1,57 @@
+"""Transactions and receipts.
+
+A transaction is always submitted from an externally-owned account
+(paper §II-A: "users interact with Ethereum's blockchain by sending a
+transaction from a user account").  It either transfers value to another
+account or activates a contract; contract execution may fan out into
+further calls, which the trace records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.ethereum.types import Address, Gas, Wei
+
+
+@dataclasses.dataclass(frozen=True)
+class Transaction:
+    """A signed (by construction, in our substrate) user transaction.
+
+    Attributes:
+        tx_id: globally unique id, assigned by the chain/workload.
+        sender: originating EOA address.
+        to: recipient account or contract address.
+        value: wei transferred to ``to`` before execution.
+        gas_limit: maximum gas the sender pays for.
+        gas_price: wei per gas unit.
+        nonce: sender's transaction counter (replay protection).
+        data: calldata words; contracts read them via CALLDATALOAD
+            (e.g. a token contract reads the recipient from data[0]).
+    """
+
+    tx_id: int
+    sender: Address
+    to: Address
+    value: Wei = 0
+    gas_limit: Gas = 100_000
+    gas_price: Wei = 1
+    nonce: int = 0
+    data: Tuple[int, ...] = ()
+
+    @property
+    def max_cost(self) -> Wei:
+        """Upper bound on what this transaction can cost the sender."""
+        return self.value + self.gas_limit * self.gas_price
+
+
+@dataclasses.dataclass(frozen=True)
+class Receipt:
+    """Outcome of executing a transaction."""
+
+    tx_id: int
+    success: bool
+    gas_used: Gas
+    error: Optional[str] = None
+    num_calls: int = 1

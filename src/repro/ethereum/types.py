@@ -1,0 +1,65 @@
+"""Primitive types for the blockchain substrate.
+
+Addresses, wei amounts and gas are plain ints at runtime (this is
+performance-sensitive code: the workload generator executes hundreds of
+thousands of transactions); the aliases exist to make signatures
+self-documenting.  ``address_hash`` is the deterministic hash used by
+the HASH partitioning method and by contract-address derivation — it is
+explicitly *not* Python's randomised ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: A vertex / account identifier.  Real Ethereum uses 160-bit addresses;
+#: we use arbitrary non-negative ints assigned sequentially by the world
+#: state, which keeps traces compact and human-readable.
+Address = int
+
+#: Currency amount (integral wei).
+Wei = int
+
+#: Gas amount.
+Gas = int
+
+#: Word size of the EVM-lite: 256-bit unsigned arithmetic, like the EVM.
+WORD_BITS = 256
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Maximum message-call depth, as in Ethereum.
+MAX_CALL_DEPTH = 1024
+
+#: Maximum stack height, as in Ethereum.
+MAX_STACK = 1024
+
+
+def to_word(value: int) -> int:
+    """Truncate a Python int to an unsigned 256-bit word."""
+    return value & WORD_MASK
+
+
+def address_hash(address: Address, salt: int = 0) -> int:
+    """Deterministic 64-bit hash of an address.
+
+    Used by the HASH partitioner (shard = address_hash(a) mod k) and in
+    tests.  Based on blake2b so the distribution is uniform and stable
+    across processes and Python versions (unlike built-in ``hash``).
+    """
+    payload = address.to_bytes(16, "little", signed=False) + salt.to_bytes(
+        8, "little", signed=False
+    )
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def contract_address(creator: Address, nonce: int) -> int:
+    """Deterministic new-contract address from (creator, nonce).
+
+    Mirrors Ethereum's CREATE address derivation in spirit.  The world
+    state remaps the result onto its compact sequential id space; this
+    function provides the collision-resistant raw material.
+    """
+    payload = creator.to_bytes(16, "little") + nonce.to_bytes(8, "little")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little")

@@ -1,0 +1,36 @@
+"""Graph substrate: the weighted directed "blockchain graph" of the paper.
+
+The paper (§II-B) models Ethereum as a directed graph whose vertices are
+accounts and smart contracts and whose edges are interactions produced by
+transactions.  Vertex weights capture how often a vertex participates in
+transactions; edge weights capture how often an interaction (caller →
+callee) occurred.
+
+Public surface:
+
+* :class:`~repro.graph.digraph.WeightedDiGraph` — the graph container;
+* :class:`~repro.graph.builder.GraphBuilder` — incremental construction
+  from interaction streams;
+* :class:`~repro.graph.snapshot.WindowIndex` — time-window views
+  (full/cumulative and reduced/window graphs used by METIS vs R-METIS);
+* :mod:`~repro.graph.undirected` — collapse to the weighted undirected
+  graph fed to partitioners;
+* :mod:`~repro.graph.io` — trace readers/writers in the paper's published
+  dataset spirit;
+* :mod:`~repro.graph.generators` — synthetic test graphs.
+"""
+
+from repro.graph.digraph import VertexKind, WeightedDiGraph
+from repro.graph.builder import GraphBuilder, Interaction
+from repro.graph.snapshot import WindowIndex
+from repro.graph.undirected import UndirectedView, collapse_to_undirected
+
+__all__ = [
+    "VertexKind",
+    "WeightedDiGraph",
+    "GraphBuilder",
+    "Interaction",
+    "WindowIndex",
+    "UndirectedView",
+    "collapse_to_undirected",
+]

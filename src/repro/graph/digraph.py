@@ -1,0 +1,292 @@
+"""A weighted directed graph tailored to the blockchain-graph model.
+
+The container is deliberately simpler than :mod:`networkx`: we only need
+
+* integer vertex ids (addresses),
+* a *kind* per vertex (externally-owned account vs contract),
+* an integer activity weight per vertex,
+* integer multiplicity weights per directed edge,
+* fast incremental updates (the replay engine adds millions of
+  interactions one at a time), and
+* cheap iteration for the metric and partitioning code.
+
+Weights are multiplicities: adding an edge that already exists increments
+its weight, matching the paper's Fig. 2 where "the weight in each edge
+denotes the number of times the interaction happened".
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import EdgeNotFoundError, VertexNotFoundError
+
+
+class VertexKind(enum.Enum):
+    """What a vertex represents in the blockchain graph."""
+
+    ACCOUNT = "account"
+    CONTRACT = "contract"
+
+
+class WeightedDiGraph:
+    """A directed graph with integer vertex and edge weights.
+
+    Vertices are arbitrary hashable ids (in practice integers — Ethereum
+    addresses).  The graph stores, per vertex: its kind, its activity
+    weight (incremented by :meth:`add_vertex_weight`) and its first-seen
+    timestamp; per directed edge: a multiplicity weight.
+    """
+
+    __slots__ = ("_succ", "_pred", "_kind", "_vweight", "_first_seen", "_edge_weight_total")
+
+    def __init__(self) -> None:
+        # vertex -> {successor -> edge weight}
+        self._succ: Dict[int, Dict[int, int]] = {}
+        # vertex -> {predecessor -> edge weight}
+        self._pred: Dict[int, Dict[int, int]] = {}
+        self._kind: Dict[int, VertexKind] = {}
+        self._vweight: Dict[int, int] = {}
+        self._first_seen: Dict[int, float] = {}
+        self._edge_weight_total: int = 0
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_vertex(
+        self,
+        vertex: int,
+        kind: VertexKind = VertexKind.ACCOUNT,
+        weight: int = 0,
+        first_seen: float = 0.0,
+    ) -> bool:
+        """Add ``vertex`` if absent.  Returns True if it was new.
+
+        For an existing vertex the kind is upgraded to CONTRACT if either
+        the stored or the supplied kind is CONTRACT (an address observed
+        first as a transfer target may later be recognised as a
+        contract), the weight is *not* touched, and first_seen keeps its
+        original value.
+        """
+        if vertex in self._succ:
+            if kind is VertexKind.CONTRACT:
+                self._kind[vertex] = VertexKind.CONTRACT
+            return False
+        self._succ[vertex] = {}
+        self._pred[vertex] = {}
+        self._kind[vertex] = kind
+        self._vweight[vertex] = weight
+        self._first_seen[vertex] = first_seen
+        return True
+
+    def add_vertex_weight(self, vertex: int, delta: int = 1) -> None:
+        """Increment the activity weight of an existing vertex."""
+        if vertex not in self._vweight:
+            raise VertexNotFoundError(vertex)
+        self._vweight[vertex] += delta
+
+    def add_edge(self, src: int, dst: int, weight: int = 1) -> None:
+        """Add ``weight`` interactions on the directed edge src → dst.
+
+        Both endpoints must already exist (the builder is responsible for
+        creating them with the right kind and timestamp).
+        """
+        if src not in self._succ:
+            raise VertexNotFoundError(src)
+        if dst not in self._succ:
+            raise VertexNotFoundError(dst)
+        succ = self._succ[src]
+        if dst in succ:
+            succ[dst] += weight
+            self._pred[dst][src] += weight
+        else:
+            succ[dst] = weight
+            self._pred[dst][src] = weight
+        self._edge_weight_total += weight
+
+    def remove_vertex(self, vertex: int) -> None:
+        """Remove a vertex and all incident edges."""
+        if vertex not in self._succ:
+            raise VertexNotFoundError(vertex)
+        for dst, w in self._succ[vertex].items():
+            if dst != vertex:
+                del self._pred[dst][vertex]
+            self._edge_weight_total -= w
+        for src, w in self._pred[vertex].items():
+            if src != vertex:
+                del self._succ[src][vertex]
+                self._edge_weight_total -= w
+        del self._succ[vertex]
+        del self._pred[vertex]
+        del self._kind[vertex]
+        del self._vweight[vertex]
+        del self._first_seen[vertex]
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges."""
+        return sum(len(s) for s in self._succ.values())
+
+    @property
+    def total_edge_weight(self) -> int:
+        """Sum of edge multiplicities (= number of interactions)."""
+        return self._edge_weight_total
+
+    @property
+    def total_vertex_weight(self) -> int:
+        return sum(self._vweight.values())
+
+    def vertices(self) -> Iterator[int]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (src, dst, weight) for every distinct directed edge."""
+        for src, succ in self._succ.items():
+            for dst, weight in succ.items():
+                yield src, dst, weight
+
+    def successors(self, vertex: int) -> Dict[int, int]:
+        """Mapping of successor → edge weight.  Do not mutate."""
+        try:
+            return self._succ[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def predecessors(self, vertex: int) -> Dict[int, int]:
+        """Mapping of predecessor → edge weight.  Do not mutate."""
+        try:
+            return self._pred[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def neighbors(self, vertex: int) -> Iterator[int]:
+        """All vertices adjacent to ``vertex`` in either direction."""
+        succ = self.successors(vertex)
+        pred = self.predecessors(vertex)
+        yield from succ
+        for p in pred:
+            if p not in succ:
+                yield p
+
+    def neighbor_weights(self, vertex: int) -> Dict[int, int]:
+        """Undirected view of adjacency: neighbor → combined weight."""
+        combined: Dict[int, int] = dict(self.successors(vertex))
+        for pred, w in self.predecessors(vertex).items():
+            combined[pred] = combined.get(pred, 0) + w
+        return combined
+
+    def edge_weight(self, src: int, dst: int) -> int:
+        try:
+            return self._succ[src][dst]
+        except KeyError:
+            raise EdgeNotFoundError(src, dst) from None
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return src in self._succ and dst in self._succ[src]
+
+    def vertex_weight(self, vertex: int) -> int:
+        try:
+            return self._vweight[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def vertex_kind(self, vertex: int) -> VertexKind:
+        try:
+            return self._kind[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def first_seen(self, vertex: int) -> float:
+        try:
+            return self._first_seen[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def out_degree(self, vertex: int) -> int:
+        return len(self.successors(vertex))
+
+    def in_degree(self, vertex: int) -> int:
+        return len(self.predecessors(vertex))
+
+    def degree(self, vertex: int) -> int:
+        """Number of distinct neighbors in either direction."""
+        return len(self.neighbor_weights(vertex))
+
+    # ------------------------------------------------------------------
+    # derived graphs
+
+    def subgraph(self, vertices: Iterable[int]) -> "WeightedDiGraph":
+        """Induced subgraph on the given vertex set (weights preserved)."""
+        keep = set(vertices)
+        sub = WeightedDiGraph()
+        for v in keep:
+            if v not in self._succ:
+                raise VertexNotFoundError(v)
+            sub.add_vertex(v, self._kind[v], self._vweight[v], self._first_seen[v])
+        for v in keep:
+            for dst, w in self._succ[v].items():
+                if dst in keep:
+                    sub.add_edge(v, dst, w)
+        return sub
+
+    def ego_subgraph(self, center: int, radius: int = 1) -> "WeightedDiGraph":
+        """Induced subgraph on vertices within ``radius`` hops of ``center``
+        (hops counted over the undirected view)."""
+        if center not in self._succ:
+            raise VertexNotFoundError(center)
+        frontier = {center}
+        seen = {center}
+        for _ in range(radius):
+            nxt = set()
+            for v in frontier:
+                for n in self.neighbors(v):
+                    if n not in seen:
+                        seen.add(n)
+                        nxt.add(n)
+            frontier = nxt
+        return self.subgraph(seen)
+
+    def copy(self) -> "WeightedDiGraph":
+        g = WeightedDiGraph()
+        for v in self._succ:
+            g.add_vertex(v, self._kind[v], self._vweight[v], self._first_seen[v])
+        for src, dst, w in self.edges():
+            g.add_edge(src, dst, w)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"WeightedDiGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"W(E)={self.total_edge_weight})"
+        )
+
+    # ------------------------------------------------------------------
+    # counting helpers used by Fig. 1 / analysis
+
+    def count_kind(self, kind: VertexKind) -> int:
+        return sum(1 for k in self._kind.values() if k is kind)
+
+    def top_vertices_by_weight(self, n: int) -> Tuple[Tuple[int, int], ...]:
+        """The n heaviest vertices as (vertex, weight), descending."""
+        return tuple(
+            sorted(self._vweight.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        )
+
+    def top_vertices_by_degree(self, n: int) -> Tuple[Tuple[int, int], ...]:
+        """The n highest-degree vertices as (vertex, degree), descending."""
+        degs = ((v, self.degree(v)) for v in self._succ)
+        return tuple(sorted(degs, key=lambda kv: (-kv[1], kv[0]))[:n])

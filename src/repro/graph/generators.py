@@ -1,0 +1,196 @@
+"""Synthetic test graphs for exercising the partitioners.
+
+These are *not* the Ethereum workload (see :mod:`repro.ethereum.workload`
+for that); they are standard graph families with known structure, used by
+the unit tests and the ABL-METIS partitioner-quality benchmark:
+
+* rings and paths (cut lower bounds are known exactly),
+* 2-D grids (planar, small separators),
+* cliques and disjoint-clique unions (obvious optimal partitions),
+* random graphs (Erdős–Rényi),
+* power-law / preferential-attachment graphs (blockchain-graph-like
+  degree skew).
+
+All generators return directed graphs with unit weights (callers can add
+weight via repeated edges); helpers at the bottom wrap them for the
+undirected partitioner input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.graph.digraph import VertexKind, WeightedDiGraph
+from repro.graph.undirected import UndirectedView, collapse_to_undirected
+
+
+def _fresh(n: int) -> WeightedDiGraph:
+    g = WeightedDiGraph()
+    for v in range(n):
+        g.add_vertex(v, VertexKind.ACCOUNT, 1, 0.0)
+    return g
+
+
+def ring_graph(n: int) -> WeightedDiGraph:
+    """A directed cycle 0 → 1 → ... → n-1 → 0.
+
+    Any bisection into contiguous arcs cuts exactly 2 edges, the optimum.
+    """
+    if n < 3:
+        raise ValueError(f"ring needs >= 3 vertices, got {n}")
+    g = _fresh(n)
+    for v in range(n):
+        g.add_edge(v, (v + 1) % n, 1)
+    return g
+
+
+def path_graph(n: int) -> WeightedDiGraph:
+    """A directed path 0 → 1 → ... → n-1 (optimal bisection cuts 1)."""
+    if n < 2:
+        raise ValueError(f"path needs >= 2 vertices, got {n}")
+    g = _fresh(n)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1, 1)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> WeightedDiGraph:
+    """A rows × cols grid; vertex (r, c) has id r*cols + c.
+
+    A vertical split of an even grid cuts exactly ``rows`` edges.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    g = _fresh(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1, 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols, 1)
+    return g
+
+
+def clique_graph(n: int) -> WeightedDiGraph:
+    """A complete directed graph on n vertices (edges in one direction)."""
+    if n < 2:
+        raise ValueError(f"clique needs >= 2 vertices, got {n}")
+    g = _fresh(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v, 1)
+    return g
+
+
+def disjoint_cliques(k: int, size: int, bridge_weight: int = 0) -> WeightedDiGraph:
+    """k cliques of ``size`` vertices, optionally weakly bridged in a ring.
+
+    With ``bridge_weight`` = 0 the graph is disconnected and the optimal
+    k-way partition has zero cut; with a small bridge weight the optimum
+    cuts exactly k bridges (k ≥ 2).
+    """
+    if k < 1 or size < 2:
+        raise ValueError("need k >= 1 cliques of size >= 2")
+    g = _fresh(k * size)
+    for c in range(k):
+        base = c * size
+        for u in range(size):
+            for v in range(u + 1, size):
+                g.add_edge(base + u, base + v, 1)
+    if bridge_weight > 0 and k >= 2:
+        for c in range(k):
+            src = c * size
+            dst = ((c + 1) % k) * size
+            g.add_edge(src, dst, bridge_weight)
+    return g
+
+
+def random_graph(n: int, p: float, rng: random.Random) -> WeightedDiGraph:
+    """Erdős–Rényi G(n, p) with directed edges u → v for u < v."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    g = _fresh(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v, 1)
+    return g
+
+
+def powerlaw_graph(
+    n: int, m: int, rng: random.Random, seed_clique: int = 3
+) -> WeightedDiGraph:
+    """Barabási–Albert-style preferential attachment graph.
+
+    Each new vertex attaches to ``m`` existing vertices chosen with
+    probability proportional to degree, producing the heavy-tailed
+    degree distribution characteristic of the Ethereum graph.
+    """
+    if n < seed_clique:
+        raise ValueError(f"need n >= {seed_clique}")
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    g = _fresh(n)
+    # repeated-endpoints list implements preferential attachment
+    endpoints: List[int] = []
+    for u in range(seed_clique):
+        for v in range(u + 1, seed_clique):
+            g.add_edge(u, v, 1)
+            endpoints.extend((u, v))
+    for v in range(seed_clique, n):
+        targets = set()
+        attempts = 0
+        want = min(m, v)
+        while len(targets) < want and attempts < 50 * want:
+            targets.add(rng.choice(endpoints))
+            attempts += 1
+        while len(targets) < want:
+            targets.add(rng.randrange(v))
+        for t in targets:
+            g.add_edge(v, t, 1)
+            endpoints.extend((v, t))
+    return g
+
+
+def weighted_communities(
+    communities: int,
+    size: int,
+    intra_weight: int,
+    inter_weight: int,
+    rng: random.Random,
+    inter_edges_per_pair: int = 1,
+) -> WeightedDiGraph:
+    """Planted-partition graph: dense heavy communities, light bridges.
+
+    The planted optimum assigns each community to its own shard; any
+    partitioner worth its salt should recover it for
+    ``intra_weight >> inter_weight``.
+    """
+    if communities < 2 or size < 2:
+        raise ValueError("need >= 2 communities of size >= 2")
+    n = communities * size
+    g = _fresh(n)
+    for c in range(communities):
+        base = c * size
+        for u in range(size):
+            for v in range(u + 1, size):
+                g.add_edge(base + u, base + v, intra_weight)
+    for a in range(communities):
+        for b in range(a + 1, communities):
+            for _ in range(inter_edges_per_pair):
+                u = a * size + rng.randrange(size)
+                v = b * size + rng.randrange(size)
+                g.add_edge(u, v, inter_weight)
+    return g
+
+
+def planted_assignment(communities: int, size: int) -> dict:
+    """The planted optimal vertex → community map for the graph above."""
+    return {c * size + i: c for c in range(communities) for i in range(size)}
+
+
+def as_undirected(g: WeightedDiGraph) -> UndirectedView:
+    """Convenience collapse for partitioner tests."""
+    return collapse_to_undirected(g)

@@ -1,0 +1,26 @@
+"""A from-scratch multilevel graph partitioner (METIS substitute).
+
+The paper partitions with METIS (Karypis & Kumar, SIAM J. Sci. Comput.
+1998).  Offline we reimplement the same multilevel scheme in pure
+Python:
+
+1. **Coarsening** (:mod:`~repro.metis.matching`,
+   :mod:`~repro.metis.coarsen`): repeatedly contract a heavy-edge
+   matching until the graph is small;
+2. **Initial partitioning** (:mod:`~repro.metis.initial`): greedy graph
+   growing (and an optional scipy spectral bisection) on the coarsest
+   graph;
+3. **Uncoarsening + refinement** (:mod:`~repro.metis.refine`):
+   project the partition back level by level, running
+   Fiduccia–Mattheyses boundary refinement at each level;
+4. **k-way** (:mod:`~repro.metis.kway`): recursive bisection with
+   proportional target weights, followed by a direct k-way greedy
+   refinement pass.
+
+Entry point: :func:`~repro.metis.api.part_graph`.
+"""
+
+from repro.metis.api import PartGraphResult, part_graph
+from repro.metis.graph import CSRGraph
+
+__all__ = ["part_graph", "PartGraphResult", "CSRGraph"]

@@ -1,0 +1,111 @@
+"""Coarsening: contract matchings into a ladder of smaller graphs.
+
+Contracting a matching merges each matched pair into one coarse vertex
+whose weight is the sum of the pair's weights; parallel edges between
+coarse vertices merge by weight and intra-pair edges vanish (they can
+never be cut again, which is the point of matching heavy edges).
+
+The ladder stops when the coarsest graph is small enough for the initial
+partitioner or when coarsening stagnates (a matching that contracts
+almost nothing, e.g. on a star graph).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.metis.graph import CSRGraph
+from repro.metis.matching import heavy_edge_matching, matching_size
+
+
+@dataclasses.dataclass
+class CoarseLevel:
+    """One rung of the coarsening ladder."""
+
+    graph: CSRGraph
+    #: fine-vertex → coarse-vertex map (length = parent graph size);
+    #: None for the finest (original) level.
+    fine_to_coarse: Optional[List[int]] = None
+
+
+def contract(graph: CSRGraph, match: List[int]) -> Tuple[CSRGraph, List[int]]:
+    """Contract a matching; returns (coarse graph, fine→coarse map)."""
+    n = graph.num_vertices
+    fine_to_coarse = [-1] * n
+    coarse_n = 0
+    for v in range(n):
+        if fine_to_coarse[v] != -1:
+            continue
+        partner = match[v]
+        fine_to_coarse[v] = coarse_n
+        if partner != v:
+            fine_to_coarse[partner] = coarse_n
+        coarse_n += 1
+
+    vwgt = [0] * coarse_n
+    for v in range(n):
+        vwgt[fine_to_coarse[v]] += graph.vwgt[v]
+
+    # merge adjacency; self-edges (intra-pair) are dropped
+    edge_accum: List[Dict[int, int]] = [dict() for _ in range(coarse_n)]
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    for v in range(n):
+        cv = fine_to_coarse[v]
+        acc = edge_accum[cv]
+        for i in range(xadj[v], xadj[v + 1]):
+            cu = fine_to_coarse[adjncy[i]]
+            if cu == cv:
+                continue
+            acc[cu] = acc.get(cu, 0) + adjwgt[i]
+
+    c_xadj = [0] * (coarse_n + 1)
+    c_adjncy: List[int] = []
+    c_adjwgt: List[int] = []
+    for cv in range(coarse_n):
+        for cu, w in edge_accum[cv].items():
+            c_adjncy.append(cu)
+            c_adjwgt.append(w)
+        c_xadj[cv + 1] = len(c_adjncy)
+
+    coarse = CSRGraph(xadj=c_xadj, adjncy=c_adjncy, adjwgt=c_adjwgt, vwgt=vwgt)
+    return coarse, fine_to_coarse
+
+
+def coarsen(
+    graph: CSRGraph,
+    rng: random.Random,
+    coarsen_to: int = 64,
+    max_levels: int = 40,
+    min_reduction: float = 0.05,
+    matcher: Callable[[CSRGraph, random.Random], List[int]] = heavy_edge_matching,
+) -> List[CoarseLevel]:
+    """Build the coarsening ladder, finest level first.
+
+    Stops when the graph has at most ``coarsen_to`` vertices, after
+    ``max_levels`` rungs, or when a matching shrinks the graph by less
+    than ``min_reduction``.
+    """
+    levels: List[CoarseLevel] = [CoarseLevel(graph=graph)]
+    current = graph
+    for _ in range(max_levels):
+        if current.num_vertices <= coarsen_to:
+            break
+        match = matcher(current, rng)
+        if matching_size(match) < min_reduction * current.num_vertices / 2:
+            break  # stagnation (e.g. a star): stop rather than crawl
+        coarse, fine_to_coarse = contract(current, match)
+        levels.append(CoarseLevel(graph=coarse, fine_to_coarse=fine_to_coarse))
+        current = coarse
+    return levels
+
+
+def project_partition(level: CoarseLevel, coarse_part: List[int]) -> List[int]:
+    """Project a coarse partition one rung down to the finer graph.
+
+    ``level`` must be the rung holding the fine→coarse map; the result
+    assigns each fine vertex its coarse vertex's part.
+    """
+    assert level.fine_to_coarse is not None, "finest level has no projection"
+    return [coarse_part[c] for c in level.fine_to_coarse]

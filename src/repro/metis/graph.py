@@ -1,0 +1,153 @@
+"""Compact CSR work-graph for the multilevel partitioner.
+
+The partitioner operates on vertices renumbered to ``0..n-1`` with
+adjacency in CSR (compressed sparse row) layout — the same representation
+METIS uses — because the coarsening and refinement inner loops touch
+every edge many times and dict-of-dict graphs are too slow for that.
+
+``CSRGraph`` is immutable after construction.  ``from_undirected``
+bridges from the domain-level :class:`~repro.graph.undirected.UndirectedView`
+and keeps the original-vertex-id mapping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.undirected import UndirectedView
+
+
+@dataclasses.dataclass
+class CSRGraph:
+    """Undirected weighted graph in CSR form.
+
+    Attributes:
+        xadj: index into adjncy/adjwgt; neighbors of v are
+            ``adjncy[xadj[v]:xadj[v+1]]`` (length n+1).
+        adjncy: concatenated neighbor lists (each undirected edge appears
+            twice, once per endpoint).
+        adjwgt: edge weights, parallel to adjncy.
+        vwgt: vertex weights (length n).
+        orig_ids: optional original vertex id per CSR index.
+    """
+
+    xadj: List[int]
+    adjncy: List[int]
+    adjwgt: List[int]
+    vwgt: List[int]
+    orig_ids: Optional[List[int]] = None
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vwgt)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.adjncy) // 2
+
+    @property
+    def total_vertex_weight(self) -> int:
+        return sum(self.vwgt)
+
+    @property
+    def total_edge_weight(self) -> int:
+        """Sum of undirected edge weights (each edge counted once)."""
+        return sum(self.adjwgt) // 2
+
+    def neighbors(self, v: int) -> Iterator[Tuple[int, int]]:
+        """Yield (neighbor, edge weight) pairs of v."""
+        for i in range(self.xadj[v], self.xadj[v + 1]):
+            yield self.adjncy[i], self.adjwgt[i]
+
+    def degree(self, v: int) -> int:
+        return self.xadj[v + 1] - self.xadj[v]
+
+    def weighted_degree(self, v: int) -> int:
+        return sum(self.adjwgt[self.xadj[v] : self.xadj[v + 1]])
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_undirected(cls, und: UndirectedView) -> "CSRGraph":
+        """Build a CSR graph from an :class:`UndirectedView`.
+
+        Vertices are renumbered in iteration order; the original ids are
+        retained in ``orig_ids`` so partition vectors can be mapped back.
+        """
+        index: Dict[int, int] = {}
+        orig_ids: List[int] = []
+        for v in und.vertices():
+            index[v] = len(orig_ids)
+            orig_ids.append(v)
+        n = len(orig_ids)
+        xadj: List[int] = [0] * (n + 1)
+        adjncy: List[int] = []
+        adjwgt: List[int] = []
+        vwgt: List[int] = [0] * n
+        for v, idx in index.items():
+            vwgt[idx] = und.vertex_weight(v)
+        for idx, v in enumerate(orig_ids):
+            for nbr, w in und.adjacency(v).items():
+                adjncy.append(index[nbr])
+                adjwgt.append(w)
+            xadj[idx + 1] = len(adjncy)
+        return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt, orig_ids=orig_ids)
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Sequence[Tuple[int, int, int]],
+        vwgt: Optional[Sequence[int]] = None,
+    ) -> "CSRGraph":
+        """Build from an undirected edge list [(u, v, w), ...].
+
+        Parallel edges are merged by weight; self-loops are rejected.
+        Used by the tests and by the coarsener.
+        """
+        merged: Dict[Tuple[int, int], int] = {}
+        for u, v, w in edges:
+            if u == v:
+                raise ValueError(f"self-loop not allowed: {u}")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge endpoint out of range: ({u}, {v})")
+            key = (u, v) if u < v else (v, u)
+            merged[key] = merged.get(key, 0) + w
+
+        adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for (u, v), w in merged.items():
+            adj[u].append((v, w))
+            adj[v].append((u, w))
+
+        xadj = [0] * (n + 1)
+        adjncy: List[int] = []
+        adjwgt: List[int] = []
+        for v in range(n):
+            for nbr, w in adj[v]:
+                adjncy.append(nbr)
+                adjwgt.append(w)
+            xadj[v + 1] = len(adjncy)
+        weights = list(vwgt) if vwgt is not None else [1] * n
+        if len(weights) != n:
+            raise ValueError(f"vwgt length {len(weights)} != n {n}")
+        return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=weights)
+
+    # ------------------------------------------------------------------
+
+    def cut_of(self, part: Sequence[int]) -> int:
+        """Total weight of edges whose endpoints are in different parts."""
+        cut = 0
+        for v in range(self.num_vertices):
+            pv = part[v]
+            for i in range(self.xadj[v], self.xadj[v + 1]):
+                if part[self.adjncy[i]] != pv:
+                    cut += self.adjwgt[i]
+        return cut // 2
+
+    def part_weights(self, part: Sequence[int], k: int) -> List[int]:
+        """Vertex-weight sum per part."""
+        weights = [0] * k
+        for v in range(self.num_vertices):
+            weights[part[v]] += self.vwgt[v]
+        return weights

@@ -1,0 +1,284 @@
+"""Refinement: Fiduccia–Mattheyses boundary passes.
+
+After each uncoarsening step the projected partition is locally
+improved.  We implement the classic FM scheme:
+
+* every *boundary* vertex gets a gain = (edge weight to the other part)
+  − (edge weight to its own part);
+* vertices are tentatively moved in best-gain-first order, each vertex
+  at most once per pass, even when the gain is negative (hill
+  climbing);
+* moves must keep both parts within the balance tolerance, except that
+  balance-*improving* moves are always allowed;
+* at the end of the pass the move sequence is rolled back to the prefix
+  with the best (cut, imbalance) seen, and passes repeat until one
+  yields no improvement.
+
+A direct k-way variant (:func:`kway_refine`) runs greedy
+best-neighbor-part moves on the final k-way partition — cheaper than FM
+bookkeeping across k parts and enough to clean up recursive-bisection
+seams, which is how METIS's k-way refinement is typically approximated
+in reimplementations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Sequence, Tuple
+
+from repro.metis.graph import CSRGraph
+
+
+def _imbalance(weights: Sequence[float], targets: Sequence[float]) -> float:
+    """max over parts of weight/target — 1.0 is perfectly on target."""
+    return max(
+        (w / t if t > 0 else float("inf")) for w, t in zip(weights, targets)
+    )
+
+
+def fm_refine(
+    graph: CSRGraph,
+    part: List[int],
+    targets: Tuple[float, float],
+    ubfactor: float = 1.05,
+    max_passes: int = 8,
+    rng: random.Random = random.Random(0),
+) -> int:
+    """FM refinement of a bisection, in place.  Returns the final cut.
+
+    ``targets`` are the desired vertex-weight totals of parts 0 and 1;
+    ``ubfactor`` is the allowed overweight ratio (1.05 = 5% slack, the
+    METIS default ballpark).
+    """
+    n = graph.num_vertices
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+
+    weights = [0.0, 0.0]
+    for v in range(n):
+        weights[part[v]] += vwgt[v]
+    cut = graph.cut_of(part)
+
+    for _ in range(max_passes):
+        improved = _fm_pass(
+            graph, part, weights, targets, ubfactor, cut, rng
+        )
+        if improved is None:
+            break
+        cut = improved
+    return cut
+
+
+def _fm_pass(
+    graph: CSRGraph,
+    part: List[int],
+    weights: List[float],
+    targets: Tuple[float, float],
+    ubfactor: float,
+    start_cut: int,
+    rng: random.Random,
+):
+    """One FM pass.  Returns the new cut if it improved, else None.
+
+    Mutates ``part`` and ``weights`` to the best prefix state.
+    """
+    n = graph.num_vertices
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+
+    gain = [0] * n
+    locked = [False] * n
+    heap: List[Tuple[int, int, int]] = []
+    counter = 0
+
+    def compute_gain(v: int) -> int:
+        g = 0
+        pv = part[v]
+        for i in range(xadj[v], xadj[v + 1]):
+            if part[adjncy[i]] == pv:
+                g -= adjwgt[i]
+            else:
+                g += adjwgt[i]
+        return g
+
+    def push(v: int) -> None:
+        nonlocal counter
+        gain[v] = compute_gain(v)
+        counter += 1
+        heapq.heappush(heap, (-gain[v], counter, v))
+
+    # seed the heap with boundary vertices
+    for v in range(n):
+        pv = part[v]
+        for i in range(xadj[v], xadj[v + 1]):
+            if part[adjncy[i]] != pv:
+                push(v)
+                break
+
+    moves: List[int] = []  # sequence of moved vertices
+    cur_cut = start_cut
+    best_cut = start_cut
+    best_imb = _imbalance(weights, targets)
+    best_prefix = 0
+
+    while heap:
+        neg_g, _, v = heapq.heappop(heap)
+        if locked[v] or -neg_g != gain[v]:
+            continue
+        src = part[v]
+        dst = 1 - src
+        new_weights = (
+            weights[0] - vwgt[v] if src == 0 else weights[0] + vwgt[v],
+            weights[1] - vwgt[v] if src == 1 else weights[1] + vwgt[v],
+        )
+        imb_before = _imbalance(weights, targets)
+        imb_after = _imbalance(new_weights, targets)
+        # the tolerance has a floor of one vertex above target (as in
+        # METIS) — otherwise FM freezes solid on perfectly balanced
+        # unit-weight graphs, where any single move exceeds a pure
+        # ratio bound
+        limit = max(ubfactor * targets[dst], targets[dst] + vwgt[v])
+        if new_weights[dst] > limit and imb_after >= imb_before:
+            continue  # would unbalance beyond tolerance without helping
+
+        # commit the tentative move
+        part[v] = dst
+        weights[0], weights[1] = new_weights
+        cur_cut -= gain[v]
+        locked[v] = True
+        moves.append(v)
+        for i in range(xadj[v], xadj[v + 1]):
+            u = adjncy[i]
+            if not locked[u]:
+                push(u)
+
+        if cur_cut < best_cut or (cur_cut == best_cut and imb_after < best_imb):
+            best_cut = cur_cut
+            best_imb = imb_after
+            best_prefix = len(moves)
+
+    # roll back to the best prefix
+    for v in moves[best_prefix:]:
+        src = part[v]
+        part[v] = 1 - src
+        weights[src] -= vwgt[v]
+        weights[1 - src] += vwgt[v]
+
+    if best_cut < start_cut:
+        return best_cut
+    return None
+
+
+def rebalance_kway(
+    graph: CSRGraph,
+    part: List[int],
+    k: int,
+    targets: Sequence[float],
+    ubfactor: float = 1.05,
+) -> int:
+    """Force every part under its weight limit, minimising cut damage.
+
+    Needed because projected partitions can carry lumpy coarse-vertex
+    imbalance that gain-driven refinement alone cannot repair: it moves
+    the cheapest (smallest cut-loss) vertices out of each overweight
+    part into the lightest parts.  Returns the number of forced moves.
+    """
+    n = graph.num_vertices
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    weights = [0.0] * k
+    for v in range(n):
+        weights[part[v]] += vwgt[v]
+
+    moves = 0
+    for p in range(k):
+        limit = max(ubfactor * targets[p], targets[p] + max(vwgt, default=1))
+        if weights[p] <= limit:
+            continue
+        # candidates in p, cheapest cut-loss first
+        candidates = []
+        for v in range(n):
+            if part[v] != p:
+                continue
+            internal = external_best = 0
+            best_dst = -1
+            conn: dict = {}
+            for i in range(xadj[v], xadj[v + 1]):
+                conn[part[adjncy[i]]] = conn.get(part[adjncy[i]], 0) + adjwgt[i]
+            internal = conn.get(p, 0)
+            for q, w in conn.items():
+                if q != p and w > external_best:
+                    external_best = w
+                    best_dst = q
+            candidates.append((internal - external_best, v, best_dst))
+        candidates.sort()
+        for _loss, v, preferred in candidates:
+            if weights[p] <= limit:
+                break
+            dst = preferred
+            if dst < 0 or weights[dst] + vwgt[v] > ubfactor * targets[dst]:
+                dst = min(range(k), key=lambda q: weights[q] / targets[q] if targets[q] else 0)
+            if dst == p:
+                continue
+            weights[p] -= vwgt[v]
+            weights[dst] += vwgt[v]
+            part[v] = dst
+            moves += 1
+    return moves
+
+
+def kway_refine(
+    graph: CSRGraph,
+    part: List[int],
+    k: int,
+    targets: Sequence[float],
+    ubfactor: float = 1.05,
+    max_passes: int = 4,
+) -> int:
+    """Greedy direct k-way refinement, in place.  Returns the final cut.
+
+    A rebalancing pass first repairs any projected imbalance; each
+    greedy pass then scans boundary vertices and moves a vertex to the
+    neighboring part with the largest positive cut gain, subject to the
+    balance tolerance.
+    """
+    n = graph.num_vertices
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    rebalance_kway(graph, part, k, targets, ubfactor=ubfactor)
+    weights = [0.0] * k
+    for v in range(n):
+        weights[part[v]] += vwgt[v]
+    cut = graph.cut_of(part)
+
+    for _ in range(max_passes):
+        moved = 0
+        for v in range(n):
+            pv = part[v]
+            # connectivity of v to each adjacent part
+            conn: dict = {}
+            for i in range(xadj[v], xadj[v + 1]):
+                conn[part[adjncy[i]]] = conn.get(part[adjncy[i]], 0) + adjwgt[i]
+            internal = conn.get(pv, 0)
+            best_part = pv
+            best_gain = 0
+            for p, w in conn.items():
+                if p == pv:
+                    continue
+                gain = w - internal
+                if gain <= best_gain:
+                    continue
+                new_w = weights[p] + vwgt[v]
+                if new_w > max(ubfactor * targets[p], targets[p] + vwgt[v]):
+                    continue
+                # never empty a part entirely
+                if weights[pv] - vwgt[v] <= 0:
+                    continue
+                best_gain = gain
+                best_part = p
+            if best_part != pv:
+                weights[pv] -= vwgt[v]
+                weights[best_part] += vwgt[v]
+                part[v] = best_part
+                cut -= best_gain
+                moved += 1
+        if moved == 0:
+            break
+    return cut

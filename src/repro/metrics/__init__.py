@@ -1,0 +1,46 @@
+"""Metrics: the paper's three evaluation quantities.
+
+* :mod:`~repro.metrics.edgecut` — Eq. 1, static (distinct edges) and
+  dynamic (weighted / per-window interactions) edge-cut, plus the
+  cross-shard *transaction* ratio;
+* :mod:`~repro.metrics.balance` — Eq. 2, static (vertex count) and
+  dynamic (activity-weighted) balance, plus the Fig. 5 normalisation;
+* :mod:`~repro.metrics.moves` — vertices (and state bytes) relocated by
+  a repartitioning;
+* :mod:`~repro.metrics.series` — 4-hour-window time series (Fig. 3);
+* :mod:`~repro.metrics.stats` — five-number summaries and densities for
+  the Fig. 4 box/violin panels.
+"""
+
+from repro.metrics.edgecut import (
+    cross_shard_transaction_ratio,
+    dynamic_edge_cut,
+    static_edge_cut,
+    window_edge_cut,
+)
+from repro.metrics.balance import (
+    dynamic_balance,
+    normalized_balance,
+    static_balance,
+    window_balance,
+)
+from repro.metrics.moves import count_moves, moved_state_bytes
+from repro.metrics.series import MetricPoint, MetricSeries
+from repro.metrics.stats import DistributionSummary, summarize
+
+__all__ = [
+    "static_edge_cut",
+    "dynamic_edge_cut",
+    "window_edge_cut",
+    "cross_shard_transaction_ratio",
+    "static_balance",
+    "dynamic_balance",
+    "window_balance",
+    "normalized_balance",
+    "count_moves",
+    "moved_state_bytes",
+    "MetricPoint",
+    "MetricSeries",
+    "DistributionSummary",
+    "summarize",
+]

@@ -1,0 +1,82 @@
+"""Balance metrics (paper Eq. 2).
+
+``balance = max_i(|p_i|) * k / |V|`` — the ratio of the heaviest shard
+to the average.  1.0 is perfect; 1.3 means the heaviest shard is 30%
+above average.  *Static* balance counts vertices; *dynamic* balance
+weighs each vertex by its activity (how often it appears in
+transactions), which is what load actually follows.
+
+:func:`normalized_balance` is the Fig. 5 transform
+``(balance - 1) / (k - 1)`` that makes different shard counts
+comparable on one axis (0 = perfect for any k, 1 = everything in one
+shard).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Mapping
+
+from repro.graph.builder import Interaction
+from repro.graph.digraph import WeightedDiGraph
+
+Assignment = Mapping[int, int]
+
+
+def static_balance(graph: WeightedDiGraph, assignment: Assignment, k: int) -> float:
+    """Eq. 2 over vertex *counts*.  Unassigned vertices are ignored."""
+    counts = Counter()
+    total = 0
+    for v in graph.vertices():
+        shard = assignment.get(v)
+        if shard is None:
+            continue
+        counts[shard] += 1
+        total += 1
+    if total == 0:
+        return 1.0
+    return max(counts.values()) * k / total
+
+
+def dynamic_balance(graph: WeightedDiGraph, assignment: Assignment, k: int) -> float:
+    """Eq. 2 over vertex *activity weights* (floored at 1 per vertex)."""
+    weights = Counter()
+    total = 0
+    for v in graph.vertices():
+        shard = assignment.get(v)
+        if shard is None:
+            continue
+        w = max(1, graph.vertex_weight(v))
+        weights[shard] += w
+        total += w
+    if total == 0:
+        return 1.0
+    return max(weights.values()) * k / total
+
+
+def window_balance(
+    interactions: Iterable[Interaction], assignment: Assignment, k: int
+) -> float:
+    """Eq. 2 over per-window load: each interaction endpoint adds one
+    unit of load to its shard.  This is the "dynamic balance" curve of
+    Fig. 3 — the load shards *experience* in the window, regardless of
+    how many vertices they store."""
+    load = Counter()
+    total = 0
+    for it in interactions:
+        for v in (it.src, it.dst):
+            shard = assignment.get(v)
+            if shard is None:
+                continue
+            load[shard] += 1
+            total += 1
+    if total == 0:
+        return 1.0
+    return max(load.values()) * k / total
+
+
+def normalized_balance(balance: float, k: int) -> float:
+    """Fig. 5 normalisation: (balance - 1) / (k - 1); 0 best, 1 worst."""
+    if k <= 1:
+        return 0.0
+    return (balance - 1.0) / (k - 1.0)

@@ -1,0 +1,49 @@
+"""Move metrics: vertices relocated by a repartitioning.
+
+The paper counts "the number of vertices that change shard after the
+graph is repartitioned" and stresses its cost: "if we were to move one
+vertex from one shard to another, we ought to move the entire state of
+the vertex.  If the vertex is a contract, that would result in moving
+the entire contract storage."  :func:`moved_state_bytes` quantifies that
+second sentence when a world state is available.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.ethereum.state import WorldState
+
+Assignment = Mapping[int, int]
+
+
+def count_moves(before: Assignment, after: Assignment) -> int:
+    """Vertices present in both assignments whose shard changed.
+
+    Vertices that appear only in ``after`` (new accounts placed since
+    the last partitioning) are *not* moves — they were never anywhere
+    else.  Vertices that disappear (never happens in our pipelines) are
+    ignored likewise.
+    """
+    moves = 0
+    for v, shard in before.items():
+        new = after.get(v)
+        if new is not None and new != shard:
+            moves += 1
+    return moves
+
+
+def moved_state_bytes(
+    before: Assignment, after: Assignment, state: WorldState
+) -> int:
+    """Total serialized account state (bytes) that a repartitioning
+    would relocate across shards — contracts carry their full storage."""
+    total = 0
+    for v, shard in before.items():
+        new = after.get(v)
+        if new is None or new == shard:
+            continue
+        acct = state.get_optional(v)
+        if acct is not None:
+            total += acct.state_bytes()
+    return total

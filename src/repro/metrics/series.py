@@ -1,0 +1,77 @@
+"""Per-window metric time series (the Fig. 3 data structure).
+
+Each point carries the window timestamp and the four per-window metrics
+(static/dynamic edge-cut and balance) plus the cumulative move count at
+that moment.  The replay engine appends points as it streams the
+history; the analysis code renders them as the paper's curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricPoint:
+    """Metrics of one sampling window."""
+
+    ts: float                  # window start (seconds since genesis)
+    static_edge_cut: float
+    dynamic_edge_cut: float
+    static_balance: float
+    dynamic_balance: float
+    cumulative_moves: int = 0
+    interactions: int = 0      # activity in the window (context, Fig. 1-ish)
+
+
+@dataclasses.dataclass
+class MetricSeries:
+    """An append-only series of per-window metric points."""
+
+    method: str
+    k: int
+    points: List[MetricPoint] = dataclasses.field(default_factory=list)
+
+    def append(self, point: MetricPoint) -> None:
+        if self.points and point.ts < self.points[-1].ts:
+            raise ValueError(
+                f"out-of-order metric point: {point.ts} < {self.points[-1].ts}"
+            )
+        self.points.append(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[MetricPoint]:
+        return iter(self.points)
+
+    def column(self, name: str) -> List[float]:
+        """Extract one metric as a list (name = attribute name)."""
+        return [getattr(p, name) for p in self.points]
+
+    def timestamps(self) -> List[float]:
+        return [p.ts for p in self.points]
+
+    def between(self, start: float, end: float) -> "MetricSeries":
+        """Sub-series with start <= ts < end (used for Fig. 4 periods)."""
+        sub = MetricSeries(method=self.method, k=self.k)
+        for p in self.points:
+            if start <= p.ts < end:
+                sub.points.append(p)
+        return sub
+
+    @property
+    def total_moves(self) -> int:
+        return self.points[-1].cumulative_moves if self.points else 0
+
+    def moves_between(self, start: float, end: float) -> int:
+        """Moves that occurred within [start, end)."""
+        before = 0
+        last = 0
+        for p in self.points:
+            if p.ts < start:
+                before = p.cumulative_moves
+            if p.ts < end:
+                last = p.cumulative_moves
+        return max(0, last - before)

@@ -1,0 +1,82 @@
+"""Distribution summaries for the Fig. 4 box-and-whisker/violin panels.
+
+The paper plots, per method and per 2017 sub-period: minimum and maximum
+(whiskers), first and third quartiles (box), the median (band) and a
+density silhouette (violin).  :func:`summarize` computes exactly those,
+with the density as a fixed-bin histogram so ASCII rendering and
+regression tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary plus a normalised density histogram."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    density_bins: Tuple[float, ...] = ()
+    density_lo: float = 0.0
+    density_hi: float = 0.0
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_row(self) -> Tuple[float, float, float, float, float]:
+        """(min, q1, median, q3, max) — the box-and-whisker tuple."""
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile (same convention as numpy default)."""
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    pos = q * (n - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def summarize(values: Sequence[float], density_bins: int = 16) -> DistributionSummary:
+    """Five-number summary + density histogram of a metric sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    lo, hi = ordered[0], ordered[-1]
+
+    bins: List[float] = [0.0] * density_bins
+    if hi > lo and density_bins > 0:
+        width = (hi - lo) / density_bins
+        for v in ordered:
+            idx = min(int((v - lo) / width), density_bins - 1)
+            bins[idx] += 1.0
+        peak = max(bins)
+        bins = [b / peak for b in bins]
+    elif density_bins > 0:
+        bins[0] = 1.0
+
+    return DistributionSummary(
+        count=len(ordered),
+        minimum=lo,
+        q1=_quantile(ordered, 0.25),
+        median=_quantile(ordered, 0.5),
+        q3=_quantile(ordered, 0.75),
+        maximum=hi,
+        mean=sum(ordered) / len(ordered),
+        density_bins=tuple(bins),
+        density_lo=lo,
+        density_hi=hi,
+    )

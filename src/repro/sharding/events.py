@@ -1,0 +1,60 @@
+"""Event queue primitives for the discrete-event simulator.
+
+A heap of (time, sequence, callback) with a monotonically increasing
+sequence number so simultaneous events fire in scheduling order —
+deterministic, which the reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationClockError
+
+
+@dataclasses.dataclass(order=True)
+class ScheduledEvent:
+    """One pending event; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of scheduled events."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._seq = 0
+
+    def push(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        event = ScheduledEvent(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Next non-cancelled event, or None when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,73 @@
+"""State-migration cost model.
+
+The paper: "If we were to move one vertex from one shard to another, we
+ought to move the entire state of the vertex.  If the vertex is a
+contract, that would result in moving the entire contract storage to
+another shard", and its final remarks stress that "moving state
+indiscriminately will have both an impact in the bandwidth and storage
+of the system."
+
+The model converts a repartitioning's move set into per-shard busy time
+(serialisation on the source, deserialisation on the destination) and
+total bytes on the wire, given the world state holding each account's
+balance/nonce/storage/code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+from repro.ethereum.state import WorldState
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationCost:
+    """Aggregate cost of one repartitioning's moves."""
+
+    vertices_moved: int
+    bytes_moved: int
+    per_shard_send_time: Tuple[float, ...]
+    per_shard_recv_time: Tuple[float, ...]
+
+    @property
+    def total_transfer_time(self) -> float:
+        return sum(self.per_shard_send_time) + sum(self.per_shard_recv_time)
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationModel:
+    """Cost parameters: bytes/sec on the wire, fixed per-vertex overhead."""
+
+    bandwidth: float = 50e6          # bytes per second per shard link
+    per_vertex_overhead: int = 128   # proof/envelope bytes per moved vertex
+
+    def cost_of(
+        self,
+        before: Mapping[int, int],
+        after: Mapping[int, int],
+        state: WorldState,
+        k: int,
+    ) -> MigrationCost:
+        """Cost of moving every vertex whose shard changed."""
+        send = [0.0] * k
+        recv = [0.0] * k
+        moved = 0
+        total_bytes = 0
+        for v, old in before.items():
+            new = after.get(v)
+            if new is None or new == old:
+                continue
+            acct = state.get_optional(v)
+            size = (acct.state_bytes() if acct is not None else 0) + self.per_vertex_overhead
+            moved += 1
+            total_bytes += size
+            seconds = size / self.bandwidth
+            send[old] += seconds
+            recv[new] += seconds
+        return MigrationCost(
+            vertices_moved=moved,
+            bytes_moved=total_bytes,
+            per_shard_send_time=tuple(send),
+            per_shard_recv_time=tuple(recv),
+        )

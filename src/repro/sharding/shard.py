@@ -1,0 +1,70 @@
+"""A shard: a serial execution resource with a FIFO work queue.
+
+Each shard processes one job at a time (validators execute transactions
+sequentially); jobs carry a service time and a completion callback.
+Utilisation accounting feeds the throughput report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.sharding.simulator import Simulator
+
+
+@dataclasses.dataclass
+class _Job:
+    service_time: float
+    on_done: Callable[[], None]
+    enqueued_at: float
+
+
+class Shard:
+    """One shard's execution engine."""
+
+    def __init__(self, shard_id: int, sim: Simulator):
+        self.shard_id = shard_id
+        self.sim = sim
+        self._queue: Deque[_Job] = deque()
+        self._busy = False
+        self.busy_time = 0.0        # total seconds spent executing
+        self.jobs_done = 0
+        self.total_queue_wait = 0.0
+
+    def submit(self, service_time: float, on_done: Callable[[], None]) -> None:
+        """Enqueue a job; ``on_done`` fires when it finishes executing."""
+        if service_time < 0:
+            raise ValueError(f"negative service time: {service_time}")
+        self._queue.append(_Job(service_time, on_done, self.sim.now))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        job = self._queue.popleft()
+        self.total_queue_wait += self.sim.now - job.enqueued_at
+
+        def finish() -> None:
+            self.busy_time += job.service_time
+            self.jobs_done += 1
+            job.on_done()
+            self._start_next()
+
+        self.sim.schedule(job.service_time, finish)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent executing."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0

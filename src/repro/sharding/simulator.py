@@ -1,0 +1,62 @@
+"""The simulation kernel: clock plus event loop.
+
+Minimal by design (schedule / run / now); all domain behaviour lives in
+:mod:`repro.sharding.shard` and :mod:`repro.sharding.coordinator`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationClockError
+from repro.sharding.events import EventQueue, ScheduledEvent
+
+
+class Simulator:
+    """A deterministic discrete-event simulation kernel."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationClockError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationClockError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, callback)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the final clock."""
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            event = self._queue.pop()
+            assert event is not None
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            fired += 1
+        return self._now

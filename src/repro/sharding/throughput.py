@@ -1,0 +1,67 @@
+"""Throughput and latency accounting for the sharded executor."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution summary (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            return cls(count=0, mean=0.0, median=0.0, p99=0.0, maximum=0.0)
+        ordered = sorted(samples)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            idx = min(n - 1, max(0, int(round(q * (n - 1)))))
+            return ordered[idx]
+
+        return cls(
+            count=n,
+            mean=sum(ordered) / n,
+            median=pct(0.5),
+            p99=pct(0.99),
+            maximum=ordered[-1],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputReport:
+    """Outcome of one sharded-execution run."""
+
+    k: int
+    completed: int
+    single_shard: int
+    multi_shard: int
+    elapsed: float
+    throughput: float           # committed transactions per second
+    latency: LatencyStats
+    utilization: Tuple[float, ...]
+    migrations: int = 0         # vertices moved (migrate mode only)
+    migration_bytes: int = 0    # serialized state moved (with a state)
+
+    @property
+    def multi_shard_ratio(self) -> float:
+        total = self.single_shard + self.multi_shard
+        return self.multi_shard / total if total else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        return sum(self.utilization) / len(self.utilization) if self.utilization else 0.0
+
+    @property
+    def utilization_imbalance(self) -> float:
+        """max/mean utilisation — the load-balance analogue of Eq. 2."""
+        mean = self.mean_utilization
+        return max(self.utilization) / mean if mean > 0 else 1.0

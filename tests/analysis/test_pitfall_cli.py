@@ -1,0 +1,56 @@
+"""Tests for the pitfall experiment and the CLI."""
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.pitfall import compute_pitfall, render_pitfall
+from repro.analysis.runner import ExperimentRunner
+
+
+class TestPitfall:
+    @pytest.fixture(scope="class")
+    def rows(self, small_runner):
+        return compute_pitfall(small_runner, k=4, max_interactions=6_000)
+
+    def test_has_baseline_and_methods(self, rows):
+        methods = [r.method for r in rows]
+        assert methods[0] == "single-shard"
+        assert "metis" in methods and "random" in methods
+
+    def test_speedups_below_ideal(self, rows):
+        """The pitfall: k shards never deliver k-fold throughput under
+        a real multi-shard workload."""
+        for r in rows[1:]:
+            assert r.speedup_vs_single < r.k
+
+    def test_multi_shard_ratio_bounds(self, rows):
+        for r in rows:
+            assert 0.0 <= r.multi_shard_ratio <= 1.0
+
+    def test_baseline_normalised(self, rows):
+        assert rows[0].speedup_vs_single == 1.0
+        assert rows[0].multi_shard_ratio == 0.0
+
+    def test_render(self, rows):
+        out = render_pitfall(rows)
+        assert "EXT-PITFALL" in out
+        assert "speedup" in out
+
+
+class TestCLI:
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--scale", "tiny"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--scale", "huge"])

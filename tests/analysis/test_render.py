@@ -1,0 +1,77 @@
+"""Unit tests for ASCII rendering helpers."""
+
+from repro.analysis.render import ascii_table, box_plot_row, format_si, sparkline
+
+
+class TestTable:
+    def test_alignment(self):
+        out = ascii_table(["a", "bb"], [["x", 1], ["yyy", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_scientific_for_extremes(self):
+        out = ascii_table(["v"], [[1e9]])
+        assert "e+" in out.lower()
+
+    def test_ragged_rows_padded(self):
+        out = ascii_table(["a", "b"], [["only-a"]])
+        assert "only-a" in out
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(list(range(500)), width=60)) == 60
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3], width=60)) == 3
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_monotone_intensity(self):
+        s = sparkline([0.0, 0.5, 1.0])
+        assert s[0] == " " and s[-1] == "@"
+
+    def test_log_mode(self):
+        s = sparkline([1, 10, 100, 1000], log=True)
+        assert len(s) == 4
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBoxPlot:
+    def test_markers_present(self):
+        row = box_plot_row(0.0, 0.25, 0.5, 0.75, 1.0, 0.0, 1.0, width=41)
+        assert row.count("|") == 2
+        assert "M" in row
+        assert "=" in row
+
+    def test_median_position(self):
+        row = box_plot_row(0.0, 0.0, 0.5, 1.0, 1.0, 0.0, 1.0, width=41)
+        assert row.index("M") == 20
+
+    def test_degenerate_range(self):
+        row = box_plot_row(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, width=10)
+        assert len(row) == 10
+
+
+class TestFormatSI:
+    def test_plain(self):
+        assert format_si(123) == "123"
+
+    def test_kilo_mega_giga(self):
+        assert format_si(1_500) == "1.5k"
+        assert format_si(2_000_000) == "2.0M"
+        assert format_si(3_100_000_000) == "3.1G"

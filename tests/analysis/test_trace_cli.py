@@ -1,0 +1,50 @@
+"""Tests for the repro-trace dataset CLI."""
+
+import pytest
+
+from repro.analysis.trace_cli import main
+
+
+class TestExport:
+    def test_export_and_stats_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        assert main(["export", "--scale", "tiny", "--seed", "7",
+                     "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.exists()
+
+        assert main(["stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "trace statistics" in text
+        assert "calls/tx" in text
+
+    def test_export_gzip(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt.gz"
+        assert main(["export", "--scale", "tiny", "--out", str(out)]) == 0
+        with open(out, "rb") as f:
+            assert f.read(2) == b"\x1f\x8b"
+
+
+class TestVerify:
+    def test_verify_good_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        main(["export", "--scale", "tiny", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_rejects_out_of_order(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("5.0 0 1 A 2 A\n1.0 1 2 A 3 A\n")
+        assert main(["verify", str(path)]) == 1
+        assert "out-of-order" in capsys.readouterr().err
+
+    def test_verify_rejects_malformed(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("not a trace line\n")
+        assert main(["verify", str(path)]) == 1
+
+    def test_stats_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        assert main(["stats", str(path)]) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for ShardAssignment."""
+
+import pytest
+
+from repro.core.assignment import ShardAssignment
+from repro.errors import InvalidPartitionError
+
+
+class TestBasics:
+    def test_k_validated(self):
+        with pytest.raises(InvalidPartitionError):
+            ShardAssignment(0)
+
+    def test_assign_and_lookup(self):
+        a = ShardAssignment(2)
+        a.assign(10, 1)
+        assert a[10] == 1
+        assert a.shard_of(10) == 1
+        assert 10 in a
+        assert len(a) == 1
+
+    def test_assign_twice_rejected(self):
+        a = ShardAssignment(2)
+        a.assign(10, 1)
+        with pytest.raises(InvalidPartitionError, match="already assigned"):
+            a.assign(10, 0)
+
+    def test_shard_range_checked(self):
+        a = ShardAssignment(2)
+        with pytest.raises(InvalidPartitionError, match="out of range"):
+            a.assign(1, 5)
+
+    def test_move_returns_old(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0)
+        assert a.move(1, 1) == 0
+        assert a[1] == 1
+
+    def test_move_unassigned_rejected(self):
+        a = ShardAssignment(2)
+        with pytest.raises(InvalidPartitionError, match="not assigned"):
+            a.move(1, 0)
+
+    def test_get_default(self):
+        a = ShardAssignment(2)
+        assert a.get(5) is None
+        assert a.get(5, -1) == -1
+
+
+class TestAccounting:
+    def test_counts_track_assign_and_move(self):
+        a = ShardAssignment(3)
+        a.assign(1, 0)
+        a.assign(2, 0)
+        a.assign(3, 1)
+        assert a.counts == (2, 1, 0)
+        a.move(1, 2)
+        assert a.counts == (1, 1, 1)
+
+    def test_weights_track(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0, weight=5)
+        a.assign(2, 1, weight=3)
+        a.add_weight(1, 2)
+        assert a.weights == (7, 3)
+        a.move(1, 1, weight=7)
+        assert a.weights == (0, 10)
+
+    def test_move_same_shard_noop(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0, weight=5)
+        a.move(1, 0, weight=5)
+        assert a.counts == (1, 0)
+        assert a.weights == (5, 0)
+
+    def test_lightest_shard(self):
+        a = ShardAssignment(3)
+        a.assign(1, 0)
+        a.assign(2, 2)
+        assert a.lightest_shard() == 1
+
+    def test_lightest_by_weight(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0, weight=10)
+        a.assign(2, 1, weight=1)
+        a.assign(3, 1, weight=1)
+        assert a.lightest_shard(by_weight=True) == 1
+        assert a.lightest_shard(by_weight=False) == 0
+
+
+class TestBalances:
+    def test_static_balance_empty(self):
+        assert ShardAssignment(4).static_balance() == 1.0
+
+    def test_static_balance_perfect(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0)
+        a.assign(2, 1)
+        assert a.static_balance() == 1.0
+
+    def test_static_balance_skewed(self):
+        a = ShardAssignment(2)
+        for v in range(3):
+            a.assign(v, 0)
+        a.assign(9, 1)
+        assert a.static_balance() == pytest.approx(3 * 2 / 4)
+
+    def test_dynamic_balance(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0, weight=9)
+        a.assign(2, 1, weight=1)
+        assert a.dynamic_balance() == pytest.approx(9 * 2 / 10)
+
+
+class TestCopyValidate:
+    def test_copy_independent(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0)
+        b = a.copy()
+        b.move(1, 1)
+        assert a[1] == 0
+
+    def test_validate_detects_corruption(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0)
+        a._counts[0] = 99  # simulate cache corruption
+        with pytest.raises(InvalidPartitionError, match="out of sync"):
+            a.validate()
+
+    def test_validate_ok(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0)
+        a.assign(2, 1)
+        a.validate()
+
+    def test_as_dict_snapshot(self):
+        a = ShardAssignment(2)
+        a.assign(1, 0)
+        d = a.as_dict()
+        a.move(1, 1)
+        assert d == {1: 0}

@@ -1,0 +1,151 @@
+"""Unit + property tests for the KL balance oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import (
+    BalanceOracle,
+    MoveProposal,
+    apply_probability_matrix,
+)
+
+
+def prop(v, src, dst, gain=1, weight=1):
+    return MoveProposal(vertex=v, src=src, dst=dst, gain=gain, weight=weight)
+
+
+class TestDemand:
+    def test_counts_by_pair(self):
+        oracle = BalanceOracle(3, weighted=False)
+        demand = oracle.demand_matrix([prop(1, 0, 1), prop(2, 0, 1), prop(3, 2, 0)])
+        assert demand[0][1] == 2
+        assert demand[2][0] == 1
+        assert demand[1][0] == 0
+
+    def test_weighted_demand(self):
+        oracle = BalanceOracle(2, weighted=True)
+        demand = oracle.demand_matrix([prop(1, 0, 1, weight=5)])
+        assert demand[0][1] == 5
+
+    def test_self_move_rejected(self):
+        oracle = BalanceOracle(2)
+        with pytest.raises(ValueError):
+            oracle.demand_matrix([prop(1, 0, 0)])
+
+    def test_slack_bounds(self):
+        with pytest.raises(ValueError):
+            BalanceOracle(2, slack=1.5)
+        with pytest.raises(ValueError):
+            BalanceOracle(0)
+
+
+class TestProbabilityMatrix:
+    def test_balanced_demand_full_probability(self):
+        oracle = BalanceOracle(2, slack=0.0, weighted=False)
+        prob = oracle.probability_matrix([prop(1, 0, 1), prop(2, 1, 0)])
+        assert prob[0][1] == 1.0
+        assert prob[1][0] == 1.0
+
+    def test_one_sided_demand_blocked_without_slack(self):
+        oracle = BalanceOracle(2, slack=0.0, weighted=False)
+        prob = oracle.probability_matrix([prop(1, 0, 1), prop(2, 0, 1)])
+        assert prob[0][1] == 0.0
+
+    def test_asymmetric_demand_scaled(self):
+        oracle = BalanceOracle(2, slack=0.0, weighted=False)
+        proposals = [prop(1, 0, 1), prop(2, 0, 1), prop(3, 1, 0)]
+        prob = oracle.probability_matrix(proposals)
+        assert prob[0][1] == pytest.approx(0.5)
+        assert prob[1][0] == 1.0
+
+    def test_diagonal_zero(self):
+        oracle = BalanceOracle(3, weighted=False)
+        prob = oracle.probability_matrix([prop(1, 0, 1), prop(2, 1, 0)])
+        for s in range(3):
+            assert prob[s][s] == 0.0
+
+    def test_slack_allows_extra(self):
+        strict = BalanceOracle(2, slack=0.0, weighted=False)
+        loose = BalanceOracle(2, slack=1.0, weighted=False)
+        proposals = [prop(1, 0, 1), prop(2, 0, 1)]
+        assert strict.probability_matrix(proposals)[0][1] == 0.0
+        assert loose.probability_matrix(proposals)[0][1] == 1.0
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(1, 5)),
+        min_size=0, max_size=30,
+    ))
+    @settings(max_examples=50)
+    def test_probabilities_always_valid(self, raw):
+        proposals = [
+            prop(i, s, t, weight=w)
+            for i, (s, t, w) in enumerate(raw) if s != t
+        ]
+        oracle = BalanceOracle(4, slack=0.3)
+        matrix = oracle.probability_matrix(proposals)
+        for row in matrix:
+            for p in row:
+                assert 0.0 <= p <= 1.0
+
+
+class TestApply:
+    def test_full_probability_moves_everything(self):
+        prob = [[0.0, 1.0], [1.0, 0.0]]
+        proposals = [prop(1, 0, 1), prop(2, 1, 0)]
+        accepted = apply_probability_matrix(proposals, prob, random.Random(0))
+        assert accepted == {1: 1, 2: 0}
+
+    def test_zero_probability_moves_nothing(self):
+        prob = [[0.0, 0.0], [0.0, 0.0]]
+        proposals = [prop(1, 0, 1)]
+        assert apply_probability_matrix(proposals, prob, random.Random(0)) == {}
+
+    def test_budget_caps_weight(self):
+        prob = [[0.0, 1.0], [0.0, 0.0]]
+        budgets = [[0.0, 6.0], [0.0, 0.0]]
+        proposals = [prop(i, 0, 1, gain=10 - i, weight=3) for i in range(4)]
+        accepted = apply_probability_matrix(
+            proposals, prob, random.Random(0), budgets=budgets, weighted=True
+        )
+        # 6 units of budget at weight 3 each -> exactly 2 moves, and the
+        # two highest-gain proposals win
+        assert set(accepted) == {0, 1}
+
+    def test_gain_priority(self):
+        prob = [[0.0, 1.0], [0.0, 0.0]]
+        budgets = [[0.0, 1.0], [0.0, 0.0]]
+        proposals = [prop(1, 0, 1, gain=1), prop(2, 0, 1, gain=99)]
+        accepted = apply_probability_matrix(
+            proposals, prob, random.Random(0), budgets=budgets, weighted=True
+        )
+        assert accepted == {2: 1}
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=25)
+    def test_strict_oracle_preserves_counts_with_budget(self, seed):
+        """With slack 0 and budgets enforced, realized moves between any
+        pair are equal in each direction (count-weighted)."""
+        rng = random.Random(seed)
+        proposals = []
+        vid = 0
+        for _ in range(rng.randrange(40)):
+            s = rng.randrange(3)
+            t = (s + 1 + rng.randrange(2)) % 3
+            proposals.append(prop(vid, s, t, gain=rng.randrange(5), weight=1))
+            vid += 1
+        oracle = BalanceOracle(3, slack=0.0, weighted=False)
+        probm = oracle.probability_matrix(proposals)
+        budgets = oracle.allowed_matrix(proposals)
+        accepted = apply_probability_matrix(
+            proposals, probm, rng, budgets=budgets, weighted=False
+        )
+        flow = [[0] * 3 for _ in range(3)]
+        by_vertex = {p.vertex: p for p in proposals}
+        for v, dst in accepted.items():
+            flow[by_vertex[v].src][dst] += 1
+        for s in range(3):
+            for t in range(3):
+                assert flow[s][t] <= budgets[s][t] + 1e-9

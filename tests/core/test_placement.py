@@ -1,0 +1,67 @@
+"""Unit tests for new-vertex placement rules."""
+
+import random
+
+from repro.core.assignment import ShardAssignment
+from repro.core.placement import (
+    place_by_hash,
+    place_by_min_cut,
+    place_lightest,
+    place_randomly,
+)
+
+
+def assignment_with(mapping, k=3):
+    a = ShardAssignment(k)
+    for v, s in mapping.items():
+        a.assign(v, s)
+    return a
+
+
+class TestMinCut:
+    def test_follows_majority_of_endpoints(self):
+        a = assignment_with({1: 0, 2: 0, 3: 1})
+        shard = place_by_min_cut(99, [1, 2, 3, 99], a)
+        assert shard == 0
+
+    def test_single_neighbor(self):
+        a = assignment_with({7: 2})
+        assert place_by_min_cut(99, [7, 99], a) == 2
+
+    def test_tie_breaks_to_lightest(self):
+        # shards 0 and 1 each host one endpoint; shard 1 is lighter overall
+        a = assignment_with({1: 0, 2: 1, 3: 0})
+        shard = place_by_min_cut(99, [1, 2, 99], a)
+        assert shard == 1
+
+    def test_no_assigned_neighbors_goes_lightest(self):
+        a = assignment_with({1: 0, 2: 0, 3: 1})
+        assert place_by_min_cut(99, [99], a) == 2
+
+    def test_ignores_self_in_endpoints(self):
+        a = assignment_with({1: 1})
+        assert place_by_min_cut(99, [99, 99, 1], a) == 1
+
+    def test_unassigned_endpoints_ignored(self):
+        a = assignment_with({1: 2})
+        assert place_by_min_cut(99, [1, 55, 66, 99], a) == 2
+
+    def test_empty_assignment_goes_shard_zero(self):
+        a = ShardAssignment(4)
+        assert place_by_min_cut(99, [99], a) == 0
+
+
+class TestOtherRules:
+    def test_hash_deterministic_and_in_range(self):
+        for v in range(100):
+            s = place_by_hash(v, 8)
+            assert 0 <= s < 8
+            assert s == place_by_hash(v, 8)
+
+    def test_random_in_range(self):
+        rng = random.Random(0)
+        assert all(0 <= place_randomly(4, rng) < 4 for _ in range(50))
+
+    def test_lightest(self):
+        a = assignment_with({1: 0, 2: 0, 3: 1})
+        assert place_lightest(a) == 2

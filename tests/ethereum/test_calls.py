@@ -1,0 +1,225 @@
+"""Unit tests for nested message calls, CREATE and trace recording."""
+
+import pytest
+
+from repro.ethereum.evm import EVM, assemble
+from repro.ethereum.state import WorldState
+from repro.ethereum.trace import CallKind
+from repro.ethereum.transaction import Transaction
+
+
+@pytest.fixture()
+def world():
+    return WorldState()
+
+
+@pytest.fixture()
+def evm(world):
+    return EVM(world)
+
+
+def exec_tx(evm, world, sender, to, value=0, data=(), gas_limit=500_000):
+    tx = Transaction(
+        tx_id=1, sender=sender.address, to=to.address, value=value,
+        gas_limit=gas_limit, nonce=sender.nonce, data=tuple(data),
+    )
+    return evm.execute_transaction(tx, timestamp=2.0)
+
+
+class TestPlainTransfer:
+    def test_transfer_moves_value_and_traces(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        b = world.create_eoa()
+        world.discard_journal()
+        receipt, trace = exec_tx(evm, world, a, b, value=1000)
+        assert receipt.success
+        assert b.balance == 1000
+        assert trace.num_calls == 1
+        call = trace.calls[0]
+        assert call.kind is CallKind.TRANSFER
+        assert (call.caller, call.callee) == (a.address, b.address)
+        assert not call.callee_is_contract
+
+    def test_transfer_to_unknown_recipient_rejected(self, evm, world):
+        from repro.errors import InvalidTransactionError
+
+        a = world.create_eoa(balance=10**12)
+        world.discard_journal()
+        tx = Transaction(tx_id=1, sender=a.address, to=999, value=5,
+                         gas_limit=100_000, nonce=0)
+        with pytest.raises(InvalidTransactionError, match="unknown recipient"):
+            evm.execute_transaction(tx, 1.0)
+
+
+class TestNestedCall:
+    def forwarder(self, world, target):
+        """Contract that CALLs ``target`` with half its call value."""
+        program = [
+            "CALLVALUE", ("PUSH", 2), ("SWAP", 1), "DIV",  # [v/2]
+            ("PUSH", target),                              # [v/2, target]
+            ("PUSH", 50_000),                              # [v/2, target, gas]
+            "CALL", "POP", "STOP",
+        ]
+        acct = world.create_contract(assemble(program))
+        world.discard_journal()
+        return acct
+
+    def test_internal_transfer_recorded(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        b = world.create_eoa()
+        fwd = self.forwarder(world, b.address)
+        receipt, trace = exec_tx(evm, world, a, fwd, value=100)
+        assert receipt.success
+        assert b.balance == 50
+        assert fwd.balance == 50
+        kinds = [c.kind for c in trace.calls]
+        assert kinds == [CallKind.CALL, CallKind.TRANSFER]
+        internal = trace.calls[1]
+        assert internal.caller == fwd.address
+        assert internal.callee == b.address
+        assert internal.caller_is_contract
+        assert internal.depth == 1
+
+    def test_two_level_nesting(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        b = world.create_eoa()
+        inner = self.forwarder(world, b.address)
+        outer = self.forwarder(world, inner.address)
+        receipt, trace = exec_tx(evm, world, a, outer, value=400)
+        assert receipt.success
+        assert [c.depth for c in trace.calls] == [0, 1, 2]
+        assert b.balance == 100  # 400 -> 200 -> 100
+
+    def test_failed_inner_call_reverts_only_inner(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        reverter = world.create_contract(assemble(["REVERT"]))
+        world.discard_journal()
+        program = [
+            # write a marker, then call the reverter, then write success flag
+            ("PUSH", 1), ("PUSH", 0), "SSTORE",
+            ("PUSH", 0), ("PUSH", reverter.address), ("PUSH", 10_000),
+            "CALL",
+            ("PUSH", 1), "SSTORE",          # storage[1] = call success flag
+            "STOP",
+        ]
+        outer = world.create_contract(assemble(program))
+        world.discard_journal()
+        receipt, trace = exec_tx(evm, world, a, outer)
+        assert receipt.success            # outer continues after inner failure
+        assert outer.storage_read(0) == 1
+        assert outer.storage_read(1) == 0  # CALL pushed 0 = failure
+        assert trace.calls[1].success is False
+
+    def test_inner_value_reverted_on_failure(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        # contract that accepts value then reverts
+        reverter = world.create_contract(assemble(["REVERT"]))
+        world.discard_journal()
+        program = [
+            ("PUSH", 30), ("PUSH", reverter.address), ("PUSH", 50_000),
+            "CALL", "POP", "STOP",
+        ]
+        outer = world.create_contract(assemble(program))
+        world.discard_journal()
+        receipt, _ = exec_tx(evm, world, a, outer, value=100)
+        assert receipt.success
+        assert reverter.balance == 0      # transfer rolled back
+        assert outer.balance == 100
+
+    def test_call_to_eoa_is_pure_transfer(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        b = world.create_eoa()
+        fwd = self.forwarder(world, b.address)
+        _, trace = exec_tx(evm, world, a, fwd, value=10)
+        assert trace.calls[1].kind is CallKind.TRANSFER
+
+
+class TestCreate:
+    def test_create_from_template(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        tid = evm.register_template(assemble(["STOP"]))
+        program = [
+            ("PUSH", 0),         # value
+            ("PUSH", tid),       # template id
+            "CREATE",
+            ("PUSH", 0), "SSTORE",   # record the new address
+            "STOP",
+        ]
+        factory = world.create_contract(assemble(program))
+        world.discard_journal()
+        before = len(world)
+        receipt, trace = exec_tx(evm, world, a, factory)
+        assert receipt.success
+        assert len(world) == before + 1
+        new_addr = factory.storage_read(0)
+        assert world.get(new_addr).is_contract
+        created = [c for c in trace.calls if c.kind is CallKind.CREATE]
+        assert len(created) == 1
+        assert created[0].callee == new_addr
+
+    def test_create_unknown_template_fails_tx(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        program = [("PUSH", 0), ("PUSH", 999), "CREATE", "POP", "STOP"]
+        factory = world.create_contract(assemble(program))
+        world.discard_journal()
+        receipt, _ = exec_tx(evm, world, a, factory)
+        assert not receipt.success
+
+    def test_created_contract_callable_in_same_tx(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        # template that writes 7 to its storage slot 0
+        tid = evm.register_template(
+            assemble([("PUSH", 7), ("PUSH", 0), "SSTORE", "STOP"])
+        )
+        program = [
+            ("PUSH", 0), ("PUSH", tid), "CREATE",   # [addr]
+            ("PUSH", 0), ("SWAP", 1),               # [0(value), addr]
+            ("PUSH", 50_000),                       # [0, addr, gas]
+            "CALL", "POP", "STOP",
+        ]
+        factory = world.create_contract(assemble(program))
+        world.discard_journal()
+        receipt, trace = exec_tx(evm, world, a, factory)
+        assert receipt.success, receipt.error
+        created = [c for c in trace.calls if c.kind is CallKind.CREATE][0]
+        assert world.get(created.callee).storage_read(0) == 7
+
+
+class TestTraceShape:
+    def test_trace_caller_first_ordering(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        b = world.create_eoa()
+        program = [
+            ("PUSH", 1), ("PUSH", b.address), ("PUSH", 10_000), "CALL", "POP",
+            "STOP",
+        ]
+        c = world.create_contract(assemble(program))
+        world.discard_journal()
+        _, trace = exec_tx(evm, world, a, c, value=10)
+        # top-level activation must come before internal calls
+        assert trace.calls[0].depth == 0
+        assert trace.calls[0].callee == c.address
+
+    def test_to_interactions_maps_all_calls(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        b = world.create_eoa()
+        program = [
+            ("PUSH", 1), ("PUSH", b.address), ("PUSH", 10_000), "CALL", "POP",
+            "STOP",
+        ]
+        c = world.create_contract(assemble(program))
+        world.discard_journal()
+        _, trace = exec_tx(evm, world, a, c, value=10)
+        interactions = list(trace.to_interactions())
+        assert [(i.src, i.dst) for i in interactions] == [
+            (a.address, c.address),
+            (c.address, b.address),
+        ]
+        assert all(i.tx_id == 1 for i in interactions)
+
+    def test_touched_addresses_in_first_touch_order(self, evm, world):
+        a = world.create_eoa(balance=10**12)
+        b = world.create_eoa()
+        world.discard_journal()
+        _, trace = exec_tx(evm, world, a, b, value=5)
+        assert trace.touched_addresses() == (a.address, b.address)

@@ -1,0 +1,137 @@
+"""Unit tests for blocks and the chain."""
+
+import pytest
+
+from repro.errors import InvalidBlockError
+from repro.ethereum.block import BlockHeader, make_genesis
+from repro.ethereum.chain import BLOCK_REWARD, Blockchain
+from repro.ethereum.state import WorldState
+from repro.ethereum.transaction import Transaction
+
+
+@pytest.fixture()
+def chain_and_actors():
+    state = WorldState()
+    chain = Blockchain(state)
+    sender = state.create_eoa(balance=10**12)
+    recipient = state.create_eoa()
+    miner = state.create_eoa()
+    state.discard_journal()
+    return chain, sender, recipient, miner
+
+
+def transfer(sender, recipient, nonce, tx_id=0, value=10):
+    return Transaction(tx_id=tx_id, sender=sender.address, to=recipient.address,
+                       value=value, gas_limit=50_000, nonce=nonce)
+
+
+class TestGenesis:
+    def test_genesis_block_zero(self):
+        g = make_genesis()
+        assert g.number == 0
+        assert g.header.parent_hash == 0
+        assert g.num_transactions == 0
+
+    def test_chain_starts_at_genesis(self, chain_and_actors):
+        chain, *_ = chain_and_actors
+        assert chain.height == 0
+
+    def test_header_hash_changes_with_fields(self):
+        h1 = BlockHeader(1, 0, 1.0, 0, 100)
+        h2 = BlockHeader(1, 0, 1.0, 0, 101)
+        assert h1.hash() != h2.hash()
+        assert h1.hash() == BlockHeader(1, 0, 1.0, 0, 100).hash()
+
+
+class TestAddBlock:
+    def test_block_executes_and_links(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        block, receipts = chain.add_block(
+            [transfer(sender, recipient, 0)], timestamp=10.0, miner=miner.address
+        )
+        assert block.number == 1
+        assert block.header.parent_hash == chain.blocks[0].hash()
+        assert receipts[0].success
+        assert recipient.balance == 10
+
+    def test_miner_gets_reward_and_fees(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        _, receipts = chain.add_block(
+            [transfer(sender, recipient, 0)], timestamp=10.0, miner=miner.address
+        )
+        assert miner.balance == BLOCK_REWARD + receipts[0].gas_used
+
+    def test_multiple_txs_same_sender(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        txs = [transfer(sender, recipient, 0, tx_id=0),
+               transfer(sender, recipient, 1, tx_id=1)]
+        _, receipts = chain.add_block(txs, 10.0, miner.address)
+        assert all(r.success for r in receipts)
+        assert recipient.balance == 20
+
+    def test_timestamp_must_not_regress(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        chain.add_block([], 10.0, miner.address)
+        with pytest.raises(InvalidBlockError, match="timestamp"):
+            chain.add_block([], 5.0, miner.address)
+
+    def test_block_gas_limit_enforced(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        txs = [transfer(sender, recipient, 0)]
+        with pytest.raises(InvalidBlockError, match="gas limit"):
+            chain.add_block(txs, 10.0, miner.address, gas_limit=10_000)
+
+    def test_header_records_gas_used(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        block, receipts = chain.add_block(
+            [transfer(sender, recipient, 0)], 10.0, miner.address
+        )
+        assert block.header.gas_used == receipts[0].gas_used
+
+    def test_total_transactions(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        chain.add_block([transfer(sender, recipient, 0)], 10.0, miner.address)
+        chain.add_block([transfer(sender, recipient, 1)], 11.0, miner.address)
+        assert chain.total_transactions == 2
+
+    def test_verify_chain(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        for i in range(3):
+            chain.add_block([transfer(sender, recipient, i, tx_id=i)],
+                            10.0 + i, miner.address)
+        assert chain.verify_chain()
+
+    def test_validate_header_rejects_wrong_parent(self, chain_and_actors):
+        chain, *_ = chain_and_actors
+        bad = BlockHeader(number=1, parent_hash=12345, timestamp=1.0,
+                          miner=0, gas_limit=1000)
+        with pytest.raises(InvalidBlockError, match="parent hash"):
+            chain.validate_header(bad)
+
+    def test_validate_header_rejects_wrong_number(self, chain_and_actors):
+        chain, *_ = chain_and_actors
+        bad = BlockHeader(number=5, parent_hash=chain.head.hash(),
+                          timestamp=1.0, miner=0, gas_limit=1000)
+        with pytest.raises(InvalidBlockError, match="block number"):
+            chain.validate_header(bad)
+
+
+class TestTraceSink:
+    def test_sink_receives_every_trace(self):
+        state = WorldState()
+        traces = []
+        chain = Blockchain(state, trace_sink=traces.append, keep_traces=False)
+        sender = state.create_eoa(balance=10**12)
+        recipient = state.create_eoa()
+        state.discard_journal()
+        chain.add_block(
+            [transfer(sender, recipient, 0, tx_id=7)], 1.0, sender.address
+        )
+        assert len(traces) == 1
+        assert traces[0].tx_id == 7
+        assert chain.traces == []  # keep_traces=False
+
+    def test_keep_traces_default(self, chain_and_actors):
+        chain, sender, recipient, miner = chain_and_actors
+        chain.add_block([transfer(sender, recipient, 0)], 1.0, miner.address)
+        assert len(chain.traces) == 1

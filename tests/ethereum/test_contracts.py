@@ -1,0 +1,138 @@
+"""Behavioural tests for the standard contract templates."""
+
+import pytest
+
+from repro.ethereum import contracts as programs
+from repro.ethereum.evm import EVM
+from repro.ethereum.state import WorldState
+from repro.ethereum.trace import CallKind
+from repro.ethereum.transaction import Transaction
+
+
+@pytest.fixture()
+def world():
+    return WorldState()
+
+
+@pytest.fixture()
+def evm(world):
+    return EVM(world)
+
+
+def call(evm, world, sender, contract, value=0, data=(), gas=300_000):
+    tx = Transaction(tx_id=0, sender=sender.address, to=contract.address,
+                     value=value, gas_limit=gas, nonce=sender.nonce,
+                     data=tuple(data))
+    return evm.execute_transaction(tx, 1.0)
+
+
+class TestToken:
+    def test_transfer_updates_both_balances(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        recipient = world.create_eoa()
+        token = world.create_contract(programs.token_code(),
+                                      initial_storage={sender.address: 1000})
+        world.discard_journal()
+        receipt, trace = call(evm, world, sender, token,
+                              data=(recipient.address, 300))
+        assert receipt.success, receipt.error
+        assert token.storage_read(recipient.address) == 300
+        assert token.storage_read(sender.address) == 700
+        # token transfers make no internal calls: a single graph edge
+        assert trace.num_calls == 1
+
+    def test_transfer_no_value_needed(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        recipient = world.create_eoa()
+        token = world.create_contract(programs.token_code())
+        world.discard_journal()
+        receipt, _ = call(evm, world, sender, token, data=(recipient.address, 5))
+        assert receipt.success
+
+
+class TestExchange:
+    def test_pays_out_half_value(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        payee = world.create_eoa()
+        exchange = world.create_contract(programs.exchange_code())
+        world.discard_journal()
+        receipt, trace = call(evm, world, sender, exchange, value=100,
+                              data=(payee.address,))
+        assert receipt.success, receipt.error
+        assert payee.balance == 50
+        assert exchange.balance == 50
+        assert trace.num_calls == 2
+        assert trace.calls[1].kind is CallKind.TRANSFER
+
+
+class TestMixer:
+    def test_fans_out_to_three(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        outs = [world.create_eoa() for _ in range(3)]
+        mixer = world.create_contract(programs.mixer_code())
+        world.discard_journal()
+        receipt, trace = call(evm, world, sender, mixer, value=100,
+                              data=tuple(o.address for o in outs))
+        assert receipt.success, receipt.error
+        assert [o.balance for o in outs] == [25, 25, 25]
+        assert mixer.balance == 25
+        assert trace.num_calls == 4  # activation + 3 internal
+
+
+class TestWallet:
+    def test_forwards_to_owner(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        owner = world.create_eoa()
+        wallet = world.create_contract(programs.wallet_code(),
+                                       initial_storage={0: owner.address})
+        world.discard_journal()
+        receipt, trace = call(evm, world, sender, wallet, value=40)
+        assert receipt.success, receipt.error
+        assert owner.balance == 40
+        assert wallet.balance == 0
+
+
+class TestFactory:
+    def test_creates_from_template(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        tid = evm.register_template(programs.dummy_code())
+        factory = world.create_contract(programs.factory_code())
+        world.discard_journal()
+        before = len(world)
+        receipt, trace = call(evm, world, sender, factory, data=(tid,))
+        assert receipt.success, receipt.error
+        assert len(world) == before + 1
+        assert any(c.kind is CallKind.CREATE for c in trace.calls)
+
+
+class TestSpammer:
+    def test_touches_all_targets(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        targets = [world.create_eoa() for _ in range(4)]
+        spammer = world.create_contract(programs.spammer_code(4))
+        world.discard_journal()
+        receipt, trace = call(evm, world, sender, spammer,
+                              data=tuple(t.address for t in targets))
+        assert receipt.success, receipt.error
+        callees = {c.callee for c in trace.calls[1:]}
+        assert callees == {t.address for t in targets}
+
+    def test_fanout_configurable(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        targets = [world.create_eoa() for _ in range(2)]
+        spammer = world.create_contract(programs.spammer_code(2))
+        world.discard_journal()
+        _, trace = call(evm, world, sender, spammer,
+                        data=tuple(t.address for t in targets))
+        assert trace.num_calls == 3
+
+
+class TestDummy:
+    def test_does_nothing(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        dummy = world.create_contract(programs.dummy_code())
+        world.discard_journal()
+        receipt, trace = call(evm, world, sender, dummy)
+        assert receipt.success
+        assert trace.num_calls == 1
+        assert dummy.storage_size == 0

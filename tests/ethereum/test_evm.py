@@ -1,0 +1,240 @@
+"""Unit tests for EVM-lite: assembler, interpreter, calls, gas."""
+
+import pytest
+
+from repro.errors import (
+    EVMError,
+    InvalidTransactionError,
+)
+from repro.ethereum import gas as G
+from repro.ethereum.evm import EVM, Op, assemble, disassemble
+from repro.ethereum.state import WorldState
+from repro.ethereum.transaction import Transaction
+from repro.ethereum.types import WORD_MASK
+
+
+@pytest.fixture()
+def world():
+    return WorldState()
+
+
+@pytest.fixture()
+def evm(world):
+    return EVM(world)
+
+
+def run_code(evm, world, program, value=0, data=(), gas_limit=500_000):
+    """Deploy ``program`` as a contract and execute one tx against it."""
+    sender = world.create_eoa(balance=10**12)
+    contract = world.create_contract(assemble(program))
+    world.discard_journal()
+    tx = Transaction(
+        tx_id=0, sender=sender.address, to=contract.address,
+        value=value, gas_limit=gas_limit, nonce=0, data=tuple(data),
+    )
+    receipt, trace = evm.execute_transaction(tx, timestamp=1.0)
+    return receipt, trace, contract
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        code = assemble([("PUSH", 7), ("PUSH", 35), "ADD", "STOP"])
+        assert code == (Op.PUSH, 7, Op.PUSH, 35, Op.ADD, Op.STOP)
+
+    def test_labels_resolve(self):
+        code = assemble([
+            ("JUMP", "end"),
+            ("PUSH", 1),
+            ("label", "end"),
+            "STOP",
+        ])
+        # JUMP target must be the offset of STOP (= 4)
+        assert code == (Op.JUMP, 4, Op.PUSH, 1, Op.STOP)
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(ValueError, match="undefined label"):
+            assemble([("JUMP", "nowhere"), "STOP"])
+
+    def test_missing_immediate_raises(self):
+        with pytest.raises(ValueError, match="requires an immediate"):
+            assemble([("PUSH",), "STOP"])  # type: ignore[list-item]
+
+    def test_unexpected_operand_raises(self):
+        with pytest.raises(ValueError, match="takes no operand"):
+            assemble([("ADD", 1), "STOP"])
+
+    def test_immediates_wrap_to_words(self):
+        code = assemble([("PUSH", -1), "STOP"])
+        assert code[1] == WORD_MASK
+
+    def test_disassemble_round_trip(self):
+        program = [("PUSH", 9), ("DUP", 1), "ADD", ("JUMPI", 0), "STOP"]
+        code = assemble(program)
+        dis = disassemble(code)
+        assert [d[1] for d in dis] == ["PUSH", "DUP", "ADD", "JUMPI", "STOP"]
+
+    def test_disassemble_invalid_opcode(self):
+        dis = disassemble((250,))
+        assert dis[0][1].startswith("INVALID")
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "program,expected",
+        [
+            ([("PUSH", 2), ("PUSH", 3), "ADD"], 5),
+            ([("PUSH", 2), ("PUSH", 7), "SUB"], 5),     # top - next = 7 - 2
+            ([("PUSH", 3), ("PUSH", 4), "MUL"], 12),
+            ([("PUSH", 2), ("PUSH", 9), "DIV"], 4),     # 9 // 2
+            ([("PUSH", 4), ("PUSH", 9), "MOD"], 1),
+            ([("PUSH", 0), ("PUSH", 9), "DIV"], 0),     # div by zero -> 0
+            ([("PUSH", 0), ("PUSH", 9), "MOD"], 0),
+            ([("PUSH", 5), ("PUSH", 3), "LT"], 1),      # 3 < 5
+            ([("PUSH", 3), ("PUSH", 5), "GT"], 1),      # 5 > 3
+            ([("PUSH", 4), ("PUSH", 4), "EQ"], 1),
+            ([("PUSH", 0), "ISZERO"], 1),
+            ([("PUSH", 6), ("PUSH", 3), "AND"], 2),
+            ([("PUSH", 6), ("PUSH", 3), "OR"], 7),
+            ([("PUSH", 6), ("PUSH", 3), "XOR"], 5),
+        ],
+    )
+    def test_binary_ops_via_storage(self, evm, world, program, expected):
+        # store the result at key 0 so we can observe it
+        full = program + [("PUSH", 0), "SSTORE", "STOP"]
+        # SSTORE pops key then value, so push key after the value
+        receipt, _, contract = run_code(evm, world, full)
+        assert receipt.success, receipt.error
+        assert contract.storage_read(0) == expected
+
+    def test_not_wraps_256_bits(self, evm, world):
+        program = [("PUSH", 0), "NOT", ("PUSH", 0), "SSTORE", "STOP"]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == WORD_MASK
+
+    def test_add_wraps(self, evm, world):
+        program = [("PUSH", WORD_MASK), ("PUSH", 1), "ADD",
+                   ("PUSH", 0), "SSTORE", "STOP"]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == 0
+
+
+class TestStackOps:
+    def test_dup(self, evm, world):
+        program = [("PUSH", 9), ("DUP", 1), "ADD", ("PUSH", 0), "SSTORE", "STOP"]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == 18
+
+    def test_swap(self, evm, world):
+        program = [("PUSH", 2), ("PUSH", 10), ("SWAP", 1), "SUB",
+                   ("PUSH", 0), "SSTORE", "STOP"]
+        # after swap top is 2: result = 2 - 10 mod 2^256
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == (2 - 10) & WORD_MASK
+
+    def test_pop(self, evm, world):
+        program = [("PUSH", 1), ("PUSH", 2), "POP",
+                   ("PUSH", 0), "SSTORE", "STOP"]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == 1
+
+    def test_stack_underflow_fails_tx(self, evm, world):
+        receipt, _, _ = run_code(evm, world, ["ADD", "STOP"])
+        assert not receipt.success
+        assert "StackUnderflow" in receipt.error
+
+
+class TestControlFlow:
+    def test_jump_skips(self, evm, world):
+        program = [
+            ("JUMP", "skip"),
+            ("PUSH", 1), ("PUSH", 0), "SSTORE",   # skipped
+            ("label", "skip"),
+            ("PUSH", 2), ("PUSH", 0), "SSTORE",
+            "STOP",
+        ]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == 2
+
+    def test_jumpi_taken_and_not_taken(self, evm, world):
+        program = [
+            ("PUSH", 1), ("JUMPI", "set_a"),
+            ("PUSH", 9), ("PUSH", 0), "SSTORE", "STOP",
+            ("label", "set_a"),
+            ("PUSH", 7), ("PUSH", 0), "SSTORE", "STOP",
+        ]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == 7
+
+    def test_loop_terminates_by_condition(self, evm, world):
+        # sum 1..5 into storage[0] using a counter at storage[1]
+        program = [
+            ("label", "loop"),
+            ("PUSH", 1), "SLOAD", ("PUSH", 1), "ADD",      # counter + 1
+            ("DUP", 1), ("PUSH", 1), "SSTORE",             # counter++
+            ("DUP", 1), ("PUSH", 0), "SLOAD", "ADD",       # sum += counter
+            ("PUSH", 0), "SSTORE",
+            ("PUSH", 1), "SLOAD", ("PUSH", 5), ("SWAP", 1), "LT",
+            ("JUMPI", "loop"),
+            "STOP",
+        ]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == 15
+
+    def test_infinite_loop_runs_out_of_gas(self, evm, world):
+        program = [("label", "loop"), ("JUMP", "loop")]
+        receipt, _, _ = run_code(evm, world, program, gas_limit=50_000)
+        assert not receipt.success
+        assert "OutOfGas" in receipt.error
+        assert receipt.gas_used == 50_000
+
+    def test_revert_fails_and_reverts_storage(self, evm, world):
+        program = [("PUSH", 5), ("PUSH", 0), "SSTORE", "REVERT"]
+        receipt, _, contract = run_code(evm, world, program)
+        assert not receipt.success
+        assert contract.storage_read(0) == 0
+
+    def test_invalid_opcode_fails(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        contract = world.create_contract((200,))
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=contract.address,
+                         gas_limit=100_000, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0)
+        assert not receipt.success
+        assert "InvalidOpcode" in receipt.error
+
+
+class TestEnvironment:
+    def test_caller_and_address(self, evm, world):
+        program = ["CALLER", ("PUSH", 0), "SSTORE",
+                   "ADDRESS", ("PUSH", 1), "SSTORE", "STOP"]
+        receipt, trace, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == trace.calls[0].caller
+        assert contract.storage_read(1) == contract.address
+
+    def test_callvalue(self, evm, world):
+        program = ["CALLVALUE", ("PUSH", 0), "SSTORE", "STOP"]
+        _, _, contract = run_code(evm, world, program, value=77)
+        assert contract.storage_read(0) == 77
+
+    def test_calldataload_and_size(self, evm, world):
+        program = [
+            ("PUSH", 1), "CALLDATALOAD", ("PUSH", 0), "SSTORE",
+            ("PUSH", 9), "CALLDATALOAD", ("PUSH", 1), "SSTORE",  # out of range -> 0
+            "CALLDATASIZE", ("PUSH", 2), "SSTORE",
+            "STOP",
+        ]
+        _, _, contract = run_code(evm, world, program, data=(11, 22))
+        assert contract.storage_read(0) == 22
+        assert contract.storage_read(1) == 0
+        assert contract.storage_read(2) == 2
+
+    def test_balance_and_selfbalance(self, evm, world):
+        program = ["SELFBALANCE", ("PUSH", 0), "SSTORE", "STOP"]
+        _, _, contract = run_code(evm, world, program, value=500)
+        assert contract.storage_read(0) == 500
+
+    def test_timestamp(self, evm, world):
+        program = ["TIMESTAMP", ("PUSH", 0), "SSTORE", "STOP"]
+        _, _, contract = run_code(evm, world, program)
+        assert contract.storage_read(0) == 1

@@ -1,0 +1,106 @@
+"""Property-based tests for EVM-lite invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ethereum import gas as G
+from repro.ethereum.evm import EVM, assemble
+from repro.ethereum.state import WorldState
+from repro.ethereum.transaction import Transaction
+
+# strategy: arbitrary straight-line arithmetic/stack programs
+_PUSHABLE = st.integers(min_value=0, max_value=2**64)
+_simple_ops = st.sampled_from(
+    ["ADD", "SUB", "MUL", "DIV", "MOD", "LT", "GT", "EQ", "AND", "OR",
+     "XOR", "POP", "ISZERO", "NOT"]
+)
+random_programs = st.lists(
+    st.one_of(
+        _PUSHABLE.map(lambda v: ("PUSH", v)),
+        _simple_ops,
+    ),
+    min_size=0,
+    max_size=40,
+).map(lambda body: body + ["STOP"])
+
+
+def fresh_world():
+    world = WorldState()
+    sender = world.create_eoa(balance=10**15)
+    miner = world.create_eoa()
+    world.discard_journal()
+    return world, sender, miner
+
+
+@given(random_programs)
+@settings(max_examples=60)
+def test_arbitrary_programs_never_corrupt_value(program):
+    """Whatever a program does (including failing), total balance is
+    conserved when the miner collects fees."""
+    world, sender, miner = fresh_world()
+    evm = EVM(world)
+    contract = world.create_contract(assemble(program))
+    world.discard_journal()
+    total_before = world.total_balance()
+    tx = Transaction(tx_id=0, sender=sender.address, to=contract.address,
+                     value=123, gas_limit=200_000, nonce=0)
+    evm.execute_transaction(tx, 1.0, miner=miner.address)
+    assert world.total_balance() == total_before
+
+
+@given(random_programs)
+@settings(max_examples=60)
+def test_gas_used_bounded_and_at_least_intrinsic(program):
+    world, sender, miner = fresh_world()
+    evm = EVM(world)
+    contract = world.create_contract(assemble(program))
+    world.discard_journal()
+    tx = Transaction(tx_id=0, sender=sender.address, to=contract.address,
+                     gas_limit=200_000, nonce=0)
+    receipt, _ = evm.execute_transaction(tx, 1.0)
+    assert G.G_TRANSACTION <= receipt.gas_used <= 200_000
+
+
+@given(random_programs)
+@settings(max_examples=40)
+def test_failed_execution_reverts_storage(program):
+    """If the receipt says failure, contract storage must be untouched."""
+    world, sender, miner = fresh_world()
+    evm = EVM(world)
+    contract = world.create_contract(assemble(program), initial_storage={1: 42})
+    world.discard_journal()
+    tx = Transaction(tx_id=0, sender=sender.address, to=contract.address,
+                     gas_limit=200_000, nonce=0)
+    receipt, _ = evm.execute_transaction(tx, 1.0)
+    if not receipt.success:
+        assert contract.storage == {1: 42}
+
+
+@given(random_programs)
+@settings(max_examples=40)
+def test_execution_is_deterministic(program):
+    def run_once():
+        world, sender, miner = fresh_world()
+        evm = EVM(world)
+        contract = world.create_contract(assemble(program))
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=contract.address,
+                         gas_limit=200_000, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0)
+        return receipt.success, receipt.gas_used, dict(contract.storage)
+
+    assert run_once() == run_once()
+
+
+@given(st.integers(min_value=0, max_value=2**256 - 1),
+       st.integers(min_value=0, max_value=2**256 - 1))
+@settings(max_examples=50)
+def test_sstore_cost_refund_consistency(old, new):
+    """A set+clear pair can never be profitable: cost >= refund."""
+    cost = G.sstore_cost(old, new)
+    refund = G.sstore_refund(old, new)
+    assert cost > 0
+    assert refund in (0, G.R_SSTORE_CLEAR)
+    if refund:
+        assert old != 0 and new == 0
+    assert G.G_SSTORE_SET > G.R_SSTORE_CLEAR

@@ -1,0 +1,89 @@
+"""Tests for protocol eras and fork-dependent gas repricing."""
+
+import datetime
+
+import pytest
+
+from repro.ethereum.evm import EVM, assemble
+from repro.ethereum.forks import ERAS, era_at, era_names
+from repro.ethereum.history import date_to_ts
+from repro.ethereum.state import WorldState
+from repro.ethereum.transaction import Transaction
+
+
+class TestEraLookup:
+    def test_genesis_is_frontier(self):
+        assert era_at(0.0).name == "frontier"
+
+    def test_homestead_boundary(self):
+        ts = date_to_ts(datetime.date(2016, 3, 14))
+        assert era_at(ts - 1).name == "frontier"
+        assert era_at(ts).name == "homestead"
+
+    def test_eip150_boundary(self):
+        ts = date_to_ts(datetime.date(2016, 10, 18))
+        assert era_at(ts - 1).name == "homestead"
+        assert era_at(ts).name == "eip150"
+        assert era_at(ts + 1e9).name == "eip150"
+
+    def test_eras_sorted(self):
+        starts = [e.start_ts for e in ERAS]
+        assert starts == sorted(starts)
+
+    def test_eip150_repriced_io(self):
+        pre = era_at(0.0)
+        post = era_at(date_to_ts(datetime.date(2017, 1, 1)))
+        assert post.sload_cost > pre.sload_cost
+        assert post.call_cost > pre.call_cost
+        assert post.balance_cost > pre.balance_cost
+
+    def test_era_names(self):
+        assert era_names() == ["frontier", "homestead", "eip150"]
+
+
+class TestEraAwareEVM:
+    def run_sload_tx(self, use_eras, timestamp):
+        world = WorldState()
+        evm = EVM(world, use_eras=use_eras)
+        sender = world.create_eoa(balance=10**12)
+        program = [("PUSH", 0), "SLOAD", "POP", "STOP"]
+        contract = world.create_contract(assemble(program))
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=contract.address,
+                         gas_limit=100_000, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, timestamp)
+        assert receipt.success
+        return receipt.gas_used
+
+    def test_sload_cheaper_before_eip150(self):
+        pre_attack = date_to_ts(datetime.date(2016, 1, 1))
+        post_fork = date_to_ts(datetime.date(2017, 1, 1))
+        pre = self.run_sload_tx(True, pre_attack)
+        post = self.run_sload_tx(True, post_fork)
+        assert post - pre == 200 - 50
+
+    def test_eras_off_by_default(self):
+        post_fork = date_to_ts(datetime.date(2017, 1, 1))
+        default = self.run_sload_tx(False, 0.0)
+        assert default == self.run_sload_tx(False, post_fork)
+
+    def test_call_repriced(self):
+        world = WorldState()
+        evm = EVM(world, use_eras=True)
+        sender = world.create_eoa(balance=10**12)
+        target = world.create_eoa()
+        program = [("PUSH", 0), ("PUSH", target.address), ("PUSH", 1000),
+                   "CALL", "POP", "STOP"]
+        contract = world.create_contract(assemble(program))
+        world.discard_journal()
+
+        def run(ts, nonce):
+            tx = Transaction(tx_id=nonce, sender=sender.address,
+                             to=contract.address, gas_limit=100_000, nonce=nonce)
+            receipt, _ = evm.execute_transaction(tx, ts)
+            assert receipt.success
+            return receipt.gas_used
+
+        pre = run(date_to_ts(datetime.date(2016, 1, 1)), 0)
+        post = run(date_to_ts(datetime.date(2017, 1, 1)), 1)
+        assert post - pre == 700 - 40

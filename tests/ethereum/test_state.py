@@ -1,0 +1,174 @@
+"""Unit tests for accounts and the journaled world state."""
+
+import pytest
+
+from repro.errors import InsufficientBalanceError, UnknownAccountError
+from repro.ethereum.account import Account, AccountKind
+from repro.ethereum.state import WorldState
+
+
+class TestAccount:
+    def test_storage_absent_reads_zero(self):
+        acct = Account(0, AccountKind.CONTRACT)
+        assert acct.storage_read(123) == 0
+
+    def test_storage_write_read(self):
+        acct = Account(0, AccountKind.CONTRACT)
+        acct.storage_write(1, 99)
+        assert acct.storage_read(1) == 99
+
+    def test_storage_write_zero_deletes(self):
+        acct = Account(0, AccountKind.CONTRACT)
+        acct.storage_write(1, 99)
+        acct.storage_write(1, 0)
+        assert acct.storage_size == 0
+
+    def test_storage_keys_wrap_to_words(self):
+        acct = Account(0, AccountKind.CONTRACT)
+        acct.storage_write(1 << 256, 7)
+        assert acct.storage_read(0) == 7
+
+    def test_state_bytes_grows_with_storage(self):
+        acct = Account(0, AccountKind.CONTRACT)
+        empty = acct.state_bytes()
+        acct.storage_write(1, 1)
+        assert acct.state_bytes() == empty + 64
+
+    def test_is_contract(self):
+        assert Account(0, AccountKind.CONTRACT).is_contract
+        assert not Account(0, AccountKind.EOA).is_contract
+
+    def test_copy_is_deep_for_storage(self):
+        acct = Account(0, AccountKind.CONTRACT)
+        acct.storage_write(1, 5)
+        clone = acct.copy()
+        clone.storage_write(1, 9)
+        assert acct.storage_read(1) == 5
+
+
+class TestWorldStateBasics:
+    def test_create_eoa_sequential_addresses(self):
+        st = WorldState()
+        a = st.create_eoa()
+        b = st.create_eoa()
+        assert b.address == a.address + 1
+
+    def test_create_contract_with_storage(self):
+        st = WorldState()
+        acct = st.create_contract((0,), initial_storage={5: 6})
+        assert acct.is_contract
+        assert acct.storage_read(5) == 6
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownAccountError):
+            WorldState().get(0)
+
+    def test_get_optional(self):
+        st = WorldState()
+        assert st.get_optional(0) is None
+        acct = st.create_eoa()
+        assert st.get_optional(acct.address) is acct
+
+    def test_transfer_moves_balance(self):
+        st = WorldState()
+        a = st.create_eoa(balance=100)
+        b = st.create_eoa()
+        st.transfer(a.address, b.address, 30)
+        assert a.balance == 70
+        assert b.balance == 30
+
+    def test_transfer_insufficient_raises(self):
+        st = WorldState()
+        a = st.create_eoa(balance=10)
+        b = st.create_eoa()
+        with pytest.raises(InsufficientBalanceError):
+            st.transfer(a.address, b.address, 11)
+
+    def test_transfer_negative_raises(self):
+        st = WorldState()
+        a = st.create_eoa(balance=10)
+        b = st.create_eoa()
+        with pytest.raises(ValueError):
+            st.transfer(a.address, b.address, -1)
+
+    def test_total_balance_conserved_by_transfer(self):
+        st = WorldState()
+        a = st.create_eoa(balance=100)
+        b = st.create_eoa(balance=50)
+        st.transfer(a.address, b.address, 25)
+        assert st.total_balance() == 150
+
+
+class TestJournal:
+    def test_revert_balance(self):
+        st = WorldState()
+        a = st.create_eoa(balance=100)
+        snap = st.snapshot()
+        st.add_balance(a.address, 50)
+        st.revert_to(snap)
+        assert a.balance == 100
+
+    def test_revert_transfer(self):
+        st = WorldState()
+        a = st.create_eoa(balance=100)
+        b = st.create_eoa()
+        snap = st.snapshot()
+        st.transfer(a.address, b.address, 60)
+        st.revert_to(snap)
+        assert (a.balance, b.balance) == (100, 0)
+
+    def test_revert_nonce(self):
+        st = WorldState()
+        a = st.create_eoa()
+        snap = st.snapshot()
+        st.increment_nonce(a.address)
+        st.revert_to(snap)
+        assert a.nonce == 0
+
+    def test_revert_storage(self):
+        st = WorldState()
+        c = st.create_contract((0,), initial_storage={1: 10})
+        snap = st.snapshot()
+        st.storage_write(c.address, 1, 20)
+        st.storage_write(c.address, 2, 30)
+        st.revert_to(snap)
+        assert c.storage_read(1) == 10
+        assert c.storage_read(2) == 0
+
+    def test_revert_account_creation(self):
+        st = WorldState()
+        snap = st.snapshot()
+        acct = st.create_eoa()
+        st.revert_to(snap)
+        assert acct.address not in st
+
+    def test_nested_snapshots_revert_inner_only(self):
+        st = WorldState()
+        a = st.create_eoa(balance=100)
+        outer = st.snapshot()
+        st.add_balance(a.address, 10)
+        inner = st.snapshot()
+        st.add_balance(a.address, 5)
+        st.revert_to(inner)
+        assert a.balance == 110
+        st.revert_to(outer)
+        assert a.balance == 100
+
+    def test_discard_journal_makes_changes_permanent(self):
+        st = WorldState()
+        a = st.create_eoa(balance=100)
+        snap = st.snapshot()
+        st.add_balance(a.address, 10)
+        st.discard_journal()
+        st.revert_to(0)  # no-op: journal is empty
+        assert a.balance == 110
+
+    def test_revert_is_lifo(self):
+        st = WorldState()
+        c = st.create_contract((0,))
+        snap = st.snapshot()
+        st.storage_write(c.address, 1, 1)
+        st.storage_write(c.address, 1, 2)
+        st.storage_write(c.address, 1, 3)
+        st.revert_to(snap)
+        assert c.storage_read(1) == 0

@@ -1,0 +1,188 @@
+"""Transaction-level economics: validation, nonces, gas, fees, refunds."""
+
+import pytest
+
+from repro.errors import InvalidTransactionError
+from repro.ethereum import gas as G
+from repro.ethereum.evm import EVM, assemble
+from repro.ethereum.state import WorldState
+from repro.ethereum.transaction import Transaction
+
+
+@pytest.fixture()
+def world():
+    return WorldState()
+
+
+@pytest.fixture()
+def evm(world):
+    return EVM(world)
+
+
+@pytest.fixture()
+def actors(world):
+    sender = world.create_eoa(balance=10**12)
+    recipient = world.create_eoa()
+    miner = world.create_eoa()
+    world.discard_journal()
+    return sender, recipient, miner
+
+
+class TestValidation:
+    def test_unknown_sender_rejected(self, evm, world):
+        world.create_eoa()
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=99, to=0, gas_limit=50_000, nonce=0)
+        with pytest.raises(InvalidTransactionError, match="unknown sender"):
+            evm.execute_transaction(tx, 1.0)
+
+    def test_wrong_nonce_rejected(self, evm, world, actors):
+        sender, recipient, _ = actors
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         gas_limit=50_000, nonce=5)
+        with pytest.raises(InvalidTransactionError, match="bad nonce"):
+            evm.execute_transaction(tx, 1.0)
+
+    def test_unaffordable_rejected(self, evm, world):
+        poor = world.create_eoa(balance=100)
+        rich = world.create_eoa()
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=poor.address, to=rich.address,
+                         value=1, gas_limit=50_000, nonce=0)
+        with pytest.raises(InvalidTransactionError, match="cannot afford"):
+            evm.execute_transaction(tx, 1.0)
+
+    def test_gas_below_intrinsic_rejected(self, evm, world, actors):
+        sender, recipient, _ = actors
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         gas_limit=1_000, nonce=0)
+        with pytest.raises(InvalidTransactionError, match="intrinsic"):
+            evm.execute_transaction(tx, 1.0)
+
+    def test_rejected_tx_leaves_state_untouched(self, evm, world, actors):
+        sender, recipient, _ = actors
+        before = sender.balance
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         gas_limit=50_000, nonce=9)
+        with pytest.raises(InvalidTransactionError):
+            evm.execute_transaction(tx, 1.0)
+        assert sender.balance == before
+        assert sender.nonce == 0
+
+
+class TestAccounting:
+    def test_nonce_increments_on_success(self, evm, actors):
+        sender, recipient, _ = actors
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         value=1, gas_limit=50_000, nonce=0)
+        evm.execute_transaction(tx, 1.0)
+        assert sender.nonce == 1
+
+    def test_nonce_increments_even_on_evm_failure(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        bad = world.create_contract(assemble(["REVERT"]))
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=bad.address,
+                         gas_limit=50_000, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0)
+        assert not receipt.success
+        assert sender.nonce == 1
+
+    def test_plain_transfer_gas_is_intrinsic(self, evm, actors):
+        sender, recipient, _ = actors
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         value=1, gas_limit=50_000, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0)
+        assert receipt.gas_used == G.G_TRANSACTION
+
+    def test_data_increases_intrinsic(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        c = world.create_contract(assemble(["STOP"]))
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=c.address,
+                         gas_limit=60_000, nonce=0, data=(1, 2, 3))
+        receipt, _ = evm.execute_transaction(tx, 1.0)
+        assert receipt.gas_used == G.G_TRANSACTION + 3 * G.G_TXDATA
+
+    def test_sender_pays_exactly_value_plus_gas(self, evm, actors):
+        sender, recipient, _ = actors
+        before = sender.balance
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         value=100, gas_limit=50_000, gas_price=2, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0)
+        assert sender.balance == before - 100 - receipt.gas_used * 2
+
+    def test_miner_earns_gas_fees(self, evm, actors):
+        sender, recipient, miner = actors
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         value=1, gas_limit=50_000, gas_price=3, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0, miner=miner.address)
+        assert miner.balance == receipt.gas_used * 3
+
+    def test_value_conserved_with_miner(self, evm, world, actors):
+        sender, recipient, miner = actors
+        total_before = world.total_balance()
+        tx = Transaction(tx_id=0, sender=sender.address, to=recipient.address,
+                         value=123, gas_limit=50_000, nonce=0)
+        evm.execute_transaction(tx, 1.0, miner=miner.address)
+        assert world.total_balance() == total_before
+
+    def test_failed_tx_consumes_all_gas(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        bad = world.create_contract(assemble(["REVERT"]))
+        miner = world.create_eoa()
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=bad.address,
+                         gas_limit=40_000, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0, miner=miner.address)
+        assert receipt.gas_used == 40_000
+        assert miner.balance == 40_000
+
+    def test_failed_tx_reverts_value_transfer(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        bad = world.create_contract(assemble(["REVERT"]))
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=bad.address,
+                         value=500, gas_limit=40_000, nonce=0)
+        evm.execute_transaction(tx, 1.0)
+        assert bad.balance == 0
+
+    def test_sstore_clear_earns_refund(self, evm, world):
+        sender = world.create_eoa(balance=10**12)
+        # contract pre-loaded with a slot, which the code clears
+        program = [("PUSH", 0), ("PUSH", 7), "SSTORE", "STOP"]  # storage[7] = 0
+        c = world.create_contract(assemble(program), initial_storage={7: 1})
+        world.discard_journal()
+        tx = Transaction(tx_id=0, sender=sender.address, to=c.address,
+                         gas_limit=100_000, nonce=0)
+        receipt, _ = evm.execute_transaction(tx, 1.0)
+        assert receipt.success
+        # with the refund, cost must be below intrinsic + raw sstore cost
+        raw = G.G_TRANSACTION + 2 * 3 + G.G_SSTORE_RESET
+        assert receipt.gas_used < raw
+
+    def test_max_cost_property(self):
+        tx = Transaction(tx_id=0, sender=0, to=1, value=10,
+                         gas_limit=100, gas_price=2, nonce=0)
+        assert tx.max_cost == 10 + 200
+
+
+class TestGasSchedule:
+    def test_sstore_set_vs_reset(self):
+        assert G.sstore_cost(0, 5) == G.G_SSTORE_SET
+        assert G.sstore_cost(5, 6) == G.G_SSTORE_RESET
+        assert G.sstore_cost(5, 0) == G.G_SSTORE_RESET
+
+    def test_sstore_refund_only_on_clear(self):
+        assert G.sstore_refund(5, 0) == G.R_SSTORE_CLEAR
+        assert G.sstore_refund(0, 5) == 0
+        assert G.sstore_refund(5, 6) == 0
+
+    def test_call_cost_components(self):
+        base = G.call_cost(False, True)
+        assert G.call_cost(True, True) == base + G.G_CALLVALUE
+        assert G.call_cost(False, False) == base + G.G_NEWACCOUNT
+
+    def test_intrinsic_gas(self):
+        assert G.intrinsic_gas(0) == G.G_TRANSACTION
+        assert G.intrinsic_gas(4) == G.G_TRANSACTION + 4 * G.G_TXDATA

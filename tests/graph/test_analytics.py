@@ -1,0 +1,97 @@
+"""Tests for graph/trace analytics."""
+
+import math
+
+import pytest
+
+from repro.graph.analytics import (
+    DegreeStats,
+    compute_trace_stats,
+    degree_distribution,
+    powerlaw_tail_exponent,
+    render_trace_stats,
+)
+from repro.graph.builder import Interaction, build_graph
+
+
+class TestDegreeStats:
+    def test_uniform_distribution(self):
+        stats = DegreeStats.from_values([5] * 100)
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+        assert stats.median == 5
+        assert stats.mean == 5
+
+    def test_concentrated_distribution(self):
+        stats = DegreeStats.from_values([0] * 99 + [100])
+        assert stats.gini > 0.9
+        assert stats.top1pct_share == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DegreeStats.from_values([])
+
+    def test_percentiles(self):
+        stats = DegreeStats.from_values(list(range(1, 101)))
+        assert stats.minimum == 1
+        assert stats.maximum == 100
+        assert stats.p99 == pytest.approx(99, abs=1)
+
+    def test_gini_monotone_in_skew(self):
+        even = DegreeStats.from_values([10, 10, 10, 10])
+        skewed = DegreeStats.from_values([1, 1, 1, 37])
+        assert skewed.gini > even.gini
+
+
+class TestPowerlawExponent:
+    def test_known_exponent_recovered(self):
+        import random
+
+        rng = random.Random(7)
+        # sample from a discrete power law with alpha ~ 2.5 via inverse CDF
+        alpha = 2.5
+        samples = [
+            max(2, int(2 * (1 - rng.random()) ** (-1 / (alpha - 1))))
+            for _ in range(20000)
+        ]
+        est = powerlaw_tail_exponent(samples, xmin=2)
+        assert 2.2 < est < 2.8
+
+    def test_insufficient_tail_nan(self):
+        assert math.isnan(powerlaw_tail_exponent([1, 1, 1], xmin=2))
+
+
+class TestTraceStats:
+    def make_log(self):
+        return [
+            Interaction(0.0, 1, 2, tx_id=0),
+            Interaction(1.0, 1, 2, tx_id=1),
+            Interaction(1.0, 2, 3, tx_id=1),
+            Interaction(86400.0, 3, 3, tx_id=2),
+        ]
+
+    def test_counts(self):
+        log = self.make_log()
+        stats = compute_trace_stats(build_graph(log), log)
+        assert stats.interactions == 4
+        assert stats.transactions == 3
+        assert stats.vertices == 3
+        assert stats.self_loop_ratio == pytest.approx(0.25)
+        assert stats.span_days == pytest.approx(1.0)
+
+    def test_render(self):
+        log = self.make_log()
+        out = render_trace_stats(compute_trace_stats(build_graph(log), log))
+        assert "interactions" in out
+        assert "calls/tx" in out
+
+    def test_workload_is_heavy_tailed(self, small_workload):
+        stats = compute_trace_stats(
+            small_workload.graph, small_workload.builder.log
+        )
+        assert stats.degree.gini > 0.3
+        assert stats.degree.top1pct_share > 0.10
+        assert stats.calls_per_tx.maximum >= 3
+        exponent = powerlaw_tail_exponent(
+            degree_distribution(small_workload.graph)
+        )
+        assert 1.5 < exponent < 4.0  # plausible power-law band

@@ -1,0 +1,188 @@
+"""Unit tests for the weighted directed graph container."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, VertexNotFoundError
+from repro.graph.digraph import VertexKind, WeightedDiGraph
+
+
+@pytest.fixture()
+def g():
+    graph = WeightedDiGraph()
+    graph.add_vertex(1, VertexKind.ACCOUNT, weight=0, first_seen=1.0)
+    graph.add_vertex(2, VertexKind.CONTRACT, weight=0, first_seen=2.0)
+    graph.add_vertex(3, VertexKind.ACCOUNT, weight=0, first_seen=3.0)
+    graph.add_edge(1, 2, 3)
+    graph.add_edge(2, 3, 1)
+    graph.add_edge(3, 1, 2)
+    return graph
+
+
+class TestVertices:
+    def test_add_vertex_new(self):
+        g = WeightedDiGraph()
+        assert g.add_vertex(7) is True
+        assert 7 in g
+        assert len(g) == 1
+
+    def test_add_vertex_existing_returns_false(self, g):
+        assert g.add_vertex(1) is False
+
+    def test_add_existing_does_not_reset_weight(self, g):
+        g.add_vertex_weight(1, 5)
+        g.add_vertex(1, VertexKind.ACCOUNT, weight=0)
+        assert g.vertex_weight(1) == 5
+
+    def test_kind_upgrade_to_contract(self, g):
+        g.add_vertex(1, VertexKind.CONTRACT)
+        assert g.vertex_kind(1) is VertexKind.CONTRACT
+
+    def test_kind_never_downgrades(self, g):
+        g.add_vertex(2, VertexKind.ACCOUNT)
+        assert g.vertex_kind(2) is VertexKind.CONTRACT
+
+    def test_first_seen_preserved(self, g):
+        g.add_vertex(1, first_seen=99.0)
+        assert g.first_seen(1) == 1.0
+
+    def test_vertex_weight_accumulates(self, g):
+        g.add_vertex_weight(1, 2)
+        g.add_vertex_weight(1, 3)
+        assert g.vertex_weight(1) == 5
+
+    def test_vertex_weight_unknown_raises(self, g):
+        with pytest.raises(VertexNotFoundError):
+            g.add_vertex_weight(99)
+
+    def test_count_kind(self, g):
+        assert g.count_kind(VertexKind.ACCOUNT) == 2
+        assert g.count_kind(VertexKind.CONTRACT) == 1
+
+    def test_remove_vertex(self, g):
+        g.remove_vertex(2)
+        assert 2 not in g
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1  # only 3 -> 1 remains
+
+    def test_remove_vertex_updates_total_weight(self, g):
+        before = g.total_edge_weight
+        g.remove_vertex(2)
+        assert g.total_edge_weight == before - 4  # edges 1->2 (3) and 2->3 (1)
+
+    def test_remove_unknown_vertex_raises(self, g):
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(42)
+
+    def test_remove_vertex_with_self_loop(self):
+        g = WeightedDiGraph()
+        g.add_vertex(1)
+        g.add_edge(1, 1, 5)
+        g.remove_vertex(1)
+        assert len(g) == 0
+        assert g.total_edge_weight == 0
+
+
+class TestEdges:
+    def test_edge_weight_accumulates(self, g):
+        g.add_edge(1, 2, 2)
+        assert g.edge_weight(1, 2) == 5
+
+    def test_edges_are_directed(self, g):
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_edge_to_missing_vertex_raises(self, g):
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(1, 42)
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(42, 1)
+
+    def test_edge_weight_missing_raises(self, g):
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_weight(2, 1)
+
+    def test_num_edges_counts_distinct(self, g):
+        g.add_edge(1, 2)  # existing edge: weight up, count same
+        assert g.num_edges == 3
+
+    def test_total_edge_weight(self, g):
+        assert g.total_edge_weight == 6
+
+    def test_edges_iteration(self, g):
+        edges = set(g.edges())
+        assert edges == {(1, 2, 3), (2, 3, 1), (3, 1, 2)}
+
+    def test_successors_predecessors(self, g):
+        assert g.successors(1) == {2: 3}
+        assert g.predecessors(1) == {3: 2}
+
+    def test_neighbors_undirected(self, g):
+        assert set(g.neighbors(1)) == {2, 3}
+
+    def test_neighbor_weights_merges_directions(self):
+        g = WeightedDiGraph()
+        g.add_vertex(1)
+        g.add_vertex(2)
+        g.add_edge(1, 2, 3)
+        g.add_edge(2, 1, 4)
+        assert g.neighbor_weights(1) == {2: 7}
+
+    def test_self_loop_allowed(self):
+        g = WeightedDiGraph()
+        g.add_vertex(1)
+        g.add_edge(1, 1, 2)
+        assert g.edge_weight(1, 1) == 2
+        assert g.num_edges == 1
+
+    def test_degrees(self, g):
+        assert g.out_degree(1) == 1
+        assert g.in_degree(1) == 1
+        assert g.degree(1) == 2
+
+
+class TestDerivedGraphs:
+    def test_subgraph_preserves_weights(self, g):
+        sub = g.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.edge_weight(1, 2) == 3
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_unknown_vertex_raises(self, g):
+        with pytest.raises(VertexNotFoundError):
+            g.subgraph([1, 42])
+
+    def test_ego_subgraph_radius_one(self):
+        g = WeightedDiGraph()
+        for v in range(5):
+            g.add_vertex(v)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        ego = g.ego_subgraph(2, radius=1)
+        assert set(ego.vertices()) == {1, 2, 3}
+
+    def test_ego_subgraph_radius_two(self):
+        g = WeightedDiGraph()
+        for v in range(5):
+            g.add_vertex(v)
+        for v in range(4):
+            g.add_edge(v, v + 1)
+        ego = g.ego_subgraph(2, radius=2)
+        assert set(ego.vertices()) == {0, 1, 2, 3, 4}
+
+    def test_copy_is_independent(self, g):
+        clone = g.copy()
+        clone.add_edge(1, 2, 10)
+        assert g.edge_weight(1, 2) == 3
+        assert clone.edge_weight(1, 2) == 13
+
+    def test_top_vertices_by_weight(self, g):
+        g.add_vertex_weight(3, 10)
+        g.add_vertex_weight(1, 5)
+        top = g.top_vertices_by_weight(2)
+        assert top == ((3, 10), (1, 5))
+
+    def test_top_vertices_by_degree(self, g):
+        top = g.top_vertices_by_degree(1)
+        assert top[0][1] == 2  # every vertex has degree 2 in the triangle

@@ -1,0 +1,101 @@
+"""Unit tests for synthetic test-graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph import generators as gen
+
+
+class TestRingPath:
+    def test_ring_structure(self):
+        g = gen.ring_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 5
+        assert g.has_edge(4, 0)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            gen.ring_graph(2)
+
+    def test_path_structure(self):
+        g = gen.path_graph(4)
+        assert g.num_edges == 3
+        assert not g.has_edge(3, 0)
+
+
+class TestGridClique:
+    def test_grid_edge_count(self):
+        g = gen.grid_graph(3, 4)
+        # horizontal: 3*3, vertical: 2*4
+        assert g.num_edges == 9 + 8
+
+    def test_grid_corner_degree(self):
+        g = gen.grid_graph(3, 3)
+        assert g.degree(0) == 2
+
+    def test_clique_edge_count(self):
+        g = gen.clique_graph(6)
+        assert g.num_edges == 15
+
+    def test_disjoint_cliques_disconnected(self):
+        g = gen.disjoint_cliques(3, 4, bridge_weight=0)
+        assert g.num_edges == 3 * 6
+
+    def test_disjoint_cliques_bridged(self):
+        g = gen.disjoint_cliques(3, 4, bridge_weight=2)
+        assert g.num_edges == 3 * 6 + 3
+        assert g.edge_weight(0, 4) == 2
+
+
+class TestRandomGraphs:
+    def test_random_graph_determinism(self):
+        g1 = gen.random_graph(30, 0.2, random.Random(5))
+        g2 = gen.random_graph(30, 0.2, random.Random(5))
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_random_graph_p_bounds(self):
+        with pytest.raises(ValueError):
+            gen.random_graph(10, 1.5, random.Random(0))
+
+    def test_random_graph_extreme_p(self):
+        empty = gen.random_graph(10, 0.0, random.Random(0))
+        full = gen.random_graph(10, 1.0, random.Random(0))
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_powerlaw_vertex_count(self):
+        g = gen.powerlaw_graph(100, 2, random.Random(1))
+        assert g.num_vertices == 100
+
+    def test_powerlaw_has_hubs(self):
+        g = gen.powerlaw_graph(300, 2, random.Random(1))
+        top = g.top_vertices_by_degree(1)[0][1]
+        degrees = sorted((g.degree(v) for v in g.vertices()))
+        median = degrees[len(degrees) // 2]
+        assert top > 4 * median  # heavy tail
+
+    def test_powerlaw_min_edges(self):
+        g = gen.powerlaw_graph(50, 3, random.Random(2))
+        for v in range(3, 50):
+            assert g.out_degree(v) >= 1
+
+
+class TestCommunities:
+    def test_planted_assignment_shape(self):
+        pa = gen.planted_assignment(3, 4)
+        assert len(pa) == 12
+        assert pa[0] == 0 and pa[11] == 2
+
+    def test_weighted_communities_intra_heavier(self):
+        g = gen.weighted_communities(2, 5, intra_weight=10, inter_weight=1,
+                                     rng=random.Random(3))
+        assert g.edge_weight(0, 1) == 10
+
+    def test_weighted_communities_has_bridges(self):
+        g = gen.weighted_communities(3, 5, 10, 1, random.Random(3),
+                                     inter_edges_per_pair=2)
+        und = gen.as_undirected(g)
+        pa = gen.planted_assignment(3, 5)
+        bridges = sum(1 for u, v, _ in und.edges() if pa[u] != pa[v])
+        assert bridges >= 3

@@ -1,0 +1,91 @@
+"""Unit tests for time-window indexing."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder, Interaction
+from repro.graph.snapshot import (
+    DAY,
+    HOUR,
+    METRIC_WINDOW,
+    REPARTITION_PERIOD,
+    WEEK,
+    Window,
+    WindowIndex,
+    iter_windows,
+)
+
+
+def test_canonical_constants():
+    assert METRIC_WINDOW == 4 * HOUR
+    assert REPARTITION_PERIOD == 2 * WEEK
+    assert WEEK == 7 * DAY
+
+
+class TestWindow:
+    def test_contains_half_open(self):
+        w = Window(0.0, 10.0)
+        assert w.contains(0.0)
+        assert w.contains(9.999)
+        assert not w.contains(10.0)
+
+    def test_duration_midpoint(self):
+        w = Window(10.0, 30.0)
+        assert w.duration == 20.0
+        assert w.midpoint == 20.0
+
+
+class TestIterWindows:
+    def test_exact_coverage(self):
+        ws = list(iter_windows(0.0, 10.0, 2.5))
+        assert len(ws) == 4
+        assert ws[0] == Window(0.0, 2.5)
+        assert ws[-1] == Window(7.5, 10.0)
+
+    def test_final_window_truncated(self):
+        ws = list(iter_windows(0.0, 7.0, 3.0))
+        assert ws[-1] == Window(6.0, 7.0)
+
+    def test_no_gap_no_overlap(self):
+        ws = list(iter_windows(0.0, 100.0, 7.0))
+        for a, b in zip(ws, ws[1:]):
+            assert a.end == b.start
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            list(iter_windows(0.0, 1.0, 0.0))
+
+
+class TestWindowIndex:
+    @pytest.fixture()
+    def index(self):
+        b = GraphBuilder()
+        for i in range(20):
+            b.add(Interaction(timestamp=float(i), src=i, dst=i + 1, tx_id=i))
+        return WindowIndex(b)
+
+    def test_span(self, index):
+        span = index.span
+        assert span.start == 0.0
+        assert span.end > 19.0
+
+    def test_span_empty(self):
+        idx = WindowIndex(GraphBuilder())
+        assert idx.span == Window(0.0, 0.0)
+
+    def test_windows_cover_span(self, index):
+        ws = index.windows(5.0)
+        assert ws[0].start == 0.0
+        assert ws[-1].end >= 19.0
+
+    def test_graph_in_window(self, index):
+        w = Window(5.0, 10.0)
+        g = index.graph_in(w)
+        assert g.num_edges == 5
+
+    def test_cumulative_graph_until(self, index):
+        g = index.cumulative_graph_until(10.0)
+        assert g.num_edges == 10
+
+    def test_per_window_counts_sum_to_total(self, index):
+        counts = index.per_window_counts(6.0)
+        assert sum(c for _, c in counts) == 20

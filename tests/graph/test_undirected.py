@@ -1,0 +1,78 @@
+"""Unit tests for the undirected collapse."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.digraph import WeightedDiGraph
+from repro.graph.undirected import collapse_to_undirected
+
+
+def make_digraph():
+    g = WeightedDiGraph()
+    for v in (1, 2, 3):
+        g.add_vertex(v)
+    g.add_vertex_weight(1, 4)
+    g.add_edge(1, 2, 3)
+    g.add_edge(2, 1, 2)   # reverse edge: must merge
+    g.add_edge(2, 3, 1)
+    g.add_edge(3, 3, 9)   # self loop: must vanish
+    return g
+
+
+class TestCollapse:
+    def test_bidirectional_edges_merge(self):
+        und = collapse_to_undirected(make_digraph())
+        assert und.adjacency(1)[2] == 5
+        assert und.adjacency(2)[1] == 5
+
+    def test_self_loops_dropped(self):
+        und = collapse_to_undirected(make_digraph())
+        assert 3 not in und.adjacency(3)
+
+    def test_num_edges(self):
+        und = collapse_to_undirected(make_digraph())
+        assert und.num_edges == 2
+
+    def test_total_edge_weight_counts_each_edge_once(self):
+        und = collapse_to_undirected(make_digraph())
+        assert und.total_edge_weight == 6  # 5 + 1
+
+    def test_vertex_weight_floor(self):
+        und = collapse_to_undirected(make_digraph())
+        assert und.vertex_weight(1) == 4
+        assert und.vertex_weight(2) == 1  # floored to min 1
+
+    def test_unit_vertex_weights(self):
+        und = collapse_to_undirected(make_digraph(), unit_vertex_weights=True)
+        assert und.vertex_weight(1) == 1
+        assert und.total_vertex_weight == 3
+
+    def test_edges_yielded_once_ordered(self):
+        und = collapse_to_undirected(make_digraph())
+        edges = list(und.edges())
+        assert sorted(edges) == [(1, 2, 5), (2, 3, 1)]
+        assert all(u < v for u, v, _ in edges)
+
+    def test_degrees(self):
+        und = collapse_to_undirected(make_digraph())
+        assert und.degree(2) == 2
+        assert und.weighted_degree(2) == 6
+
+    def test_unknown_vertex_raises(self):
+        und = collapse_to_undirected(make_digraph())
+        with pytest.raises(VertexNotFoundError):
+            und.adjacency(42)
+        with pytest.raises(VertexNotFoundError):
+            und.vertex_weight(42)
+
+    def test_empty_graph(self):
+        und = collapse_to_undirected(WeightedDiGraph())
+        assert und.num_vertices == 0
+        assert und.num_edges == 0
+
+    def test_isolated_vertex_kept(self):
+        g = WeightedDiGraph()
+        g.add_vertex(9)
+        und = collapse_to_undirected(g)
+        assert 9 in und
+        assert und.degree(9) == 0

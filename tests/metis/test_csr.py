@@ -1,0 +1,79 @@
+"""Unit tests for the CSR work-graph."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.undirected import collapse_to_undirected
+from repro.metis.graph import CSRGraph
+
+
+def triangle():
+    return CSRGraph.from_edges(3, [(0, 1, 2), (1, 2, 3), (0, 2, 4)])
+
+
+class TestFromEdges:
+    def test_basic_shape(self):
+        g = triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.total_edge_weight == 9
+
+    def test_adjacency_symmetric(self):
+        g = triangle()
+        assert dict(g.neighbors(0)) == {1: 2, 2: 4}
+        assert dict(g.neighbors(1)) == {0: 2, 2: 3}
+
+    def test_parallel_edges_merge(self):
+        g = CSRGraph.from_edges(2, [(0, 1, 1), (1, 0, 2)])
+        assert g.num_edges == 1
+        assert dict(g.neighbors(0)) == {1: 3}
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CSRGraph.from_edges(2, [(0, 0, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph.from_edges(2, [(0, 5, 1)])
+
+    def test_default_unit_vertex_weights(self):
+        g = triangle()
+        assert g.vwgt == [1, 1, 1]
+        assert g.total_vertex_weight == 3
+
+    def test_vwgt_length_checked(self):
+        with pytest.raises(ValueError, match="vwgt length"):
+            CSRGraph.from_edges(3, [(0, 1, 1)], vwgt=[1, 2])
+
+    def test_degrees(self):
+        g = triangle()
+        assert g.degree(0) == 2
+        assert g.weighted_degree(0) == 6
+
+
+class TestFromUndirected:
+    def test_round_trip_weights(self):
+        dg = gen.weighted_communities(2, 3, 5, 1, __import__("random").Random(0))
+        und = collapse_to_undirected(dg)
+        csr = CSRGraph.from_undirected(und)
+        assert csr.num_vertices == und.num_vertices
+        assert csr.num_edges == und.num_edges
+        assert csr.total_edge_weight == und.total_edge_weight
+
+    def test_orig_ids_map_back(self):
+        dg = gen.ring_graph(5)
+        und = collapse_to_undirected(dg)
+        csr = CSRGraph.from_undirected(und)
+        assert sorted(csr.orig_ids) == [0, 1, 2, 3, 4]
+
+
+class TestCutAndWeights:
+    def test_cut_of_known_partition(self):
+        g = triangle()
+        assert g.cut_of([0, 0, 1]) == 3 + 4   # edges (1,2) and (0,2)
+        assert g.cut_of([0, 0, 0]) == 0
+        assert g.cut_of([0, 1, 2]) == 9
+
+    def test_part_weights(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 1)], vwgt=[5, 7, 9])
+        assert g.part_weights([0, 1, 0], 2) == [14, 7]

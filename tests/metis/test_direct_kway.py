@@ -1,0 +1,88 @@
+"""Tests for the direct (kmetis-style) k-way scheme."""
+
+import random
+import time
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import generators as gen
+from repro.graph.undirected import collapse_to_undirected
+from repro.metis import part_graph
+from repro.metis.graph import CSRGraph
+from repro.metis.kway import direct_kway_partition
+
+
+def csr_of(digraph):
+    return CSRGraph.from_undirected(collapse_to_undirected(digraph))
+
+
+class TestDirectKway:
+    def test_valid_partition(self):
+        g = csr_of(gen.grid_graph(12, 12))
+        part = direct_kway_partition(g, 4, random.Random(0))
+        assert len(part) == 144
+        assert set(part) == {0, 1, 2, 3}
+
+    def test_k1_and_empty(self):
+        g = csr_of(gen.ring_graph(10))
+        assert direct_kway_partition(g, 1, random.Random(0)) == [0] * 10
+        empty = CSRGraph(xadj=[0], adjncy=[], adjwgt=[], vwgt=[])
+        assert direct_kway_partition(empty, 4, random.Random(0)) == []
+
+    def test_invalid_k(self):
+        g = csr_of(gen.ring_graph(10))
+        with pytest.raises(ValueError):
+            direct_kway_partition(g, 0, random.Random(0))
+
+    def test_balance_honoured(self):
+        g = csr_of(gen.powerlaw_graph(600, 3, random.Random(1)))
+        part = direct_kway_partition(g, 8, random.Random(2))
+        weights = g.part_weights(part, 8)
+        target = g.total_vertex_weight / 8.0
+        heaviest = max(g.vwgt)
+        assert max(weights) <= 1.06 * target + heaviest
+
+    def test_recovers_communities(self):
+        dg = gen.weighted_communities(4, 25, 10, 1, random.Random(3))
+        g = csr_of(dg)
+        part = direct_kway_partition(g, 4, random.Random(1))
+        cut = g.cut_of(part)
+        assert cut <= 25  # community bridges only (few inter edges of w=1)
+
+
+class TestSchemeParameter:
+    def test_direct_scheme_via_api(self):
+        g = gen.grid_graph(10, 10)
+        res = part_graph(g, 4, seed=1, scheme="direct")
+        assert set(res.assignment.values()) == {0, 1, 2, 3}
+        assert res.balance <= 1.35
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(PartitionError, match="scheme"):
+            part_graph(gen.ring_graph(5), 2, scheme="quantum")
+
+    def test_quality_comparable_to_recursive(self):
+        g = gen.powerlaw_graph(800, 3, random.Random(4))
+        rec = part_graph(g, 8, seed=1, scheme="recursive")
+        direct = part_graph(g, 8, seed=1, scheme="direct")
+        # direct k-way may lose a little cut quality, but not a lot
+        assert direct.edge_cut <= 1.35 * rec.edge_cut
+
+    def test_direct_faster_for_large_k(self):
+        g = gen.powerlaw_graph(1200, 3, random.Random(5))
+        t0 = time.time()
+        part_graph(g, 16, seed=1, scheme="recursive")
+        recursive_time = time.time() - t0
+        t0 = time.time()
+        part_graph(g, 16, seed=1, scheme="direct")
+        direct_time = time.time() - t0
+        # one coarsening ladder vs a tree of them: expect a clear win,
+        # asserted loosely to stay robust on slow CI machines
+        assert direct_time < recursive_time
+
+    def test_deterministic(self):
+        g = gen.powerlaw_graph(300, 2, random.Random(6))
+        a = part_graph(g, 4, seed=9, scheme="direct")
+        b = part_graph(g, 4, seed=9, scheme="direct")
+        assert a.assignment == b.assignment

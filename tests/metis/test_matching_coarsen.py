@@ -1,0 +1,180 @@
+"""Unit + property tests for matching and coarsening."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metis.coarsen import coarsen, contract, project_partition
+from repro.metis.graph import CSRGraph
+from repro.metis.matching import (
+    heavy_edge_matching,
+    matching_size,
+    random_matching,
+    validate_matching,
+)
+
+# random undirected graph strategy in CSR form
+@st.composite
+def csr_graphs(draw, max_n=14):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=len(possible), unique=True)
+    )
+    weights = draw(
+        st.lists(st.integers(min_value=1, max_value=9),
+                 min_size=len(edges), max_size=len(edges))
+    )
+    vwgt = draw(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=n, max_size=n)
+    )
+    return CSRGraph.from_edges(
+        n, [(u, v, w) for (u, v), w in zip(edges, weights)], vwgt=vwgt
+    )
+
+
+def path4():
+    return CSRGraph.from_edges(4, [(0, 1, 1), (1, 2, 10), (2, 3, 1)])
+
+
+class TestMatching:
+    def test_hem_prefers_heavy_edge(self):
+        # two disjoint pairs: (0,1) light, (2,3) heavy — both always
+        # matched, and each vertex's best (only) partner is its pair
+        g = CSRGraph.from_edges(4, [(0, 1, 1), (2, 3, 10)])
+        for seed in range(5):
+            match = heavy_edge_matching(g, random.Random(seed))
+            assert validate_matching(g, match)
+            assert match[2] == 3 and match[3] == 2
+
+    def test_hem_picks_heaviest_neighbor(self):
+        # star with one heavy spoke: if the hub is visited first it must
+        # take the heavy neighbor; run all seeds and check the invariant
+        g = CSRGraph.from_edges(4, [(0, 1, 1), (0, 2, 9), (0, 3, 1)])
+        seen_heavy = False
+        for seed in range(10):
+            match = heavy_edge_matching(g, random.Random(seed))
+            assert validate_matching(g, match)
+            if match[0] != 0:
+                # whenever the hub matched, a free heaviest neighbor
+                # was available at that moment; if 2 was free it wins
+                if match[0] == 2:
+                    seen_heavy = True
+        assert seen_heavy
+
+    def test_rm_valid(self):
+        g = path4()
+        match = random_matching(g, random.Random(3))
+        assert validate_matching(g, match)
+
+    def test_matching_size(self):
+        assert matching_size([1, 0, 2]) == 1
+        assert matching_size([0, 1, 2]) == 0
+
+    def test_isolated_vertex_self_matched(self):
+        g = CSRGraph.from_edges(3, [(0, 1, 1)])
+        match = heavy_edge_matching(g, random.Random(0))
+        assert match[2] == 2
+
+    @given(csr_graphs(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40)
+    def test_hem_always_valid(self, g, seed):
+        match = heavy_edge_matching(g, random.Random(seed))
+        assert validate_matching(g, match)
+
+    @given(csr_graphs(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40)
+    def test_rm_always_valid(self, g, seed):
+        match = random_matching(g, random.Random(seed))
+        assert validate_matching(g, match)
+
+
+class TestContract:
+    def test_pair_merges_weights(self):
+        g = path4()
+        match = [0, 2, 1, 3]  # match (1,2); 0 and 3 alone
+        coarse, f2c = contract(g, match)
+        assert coarse.num_vertices == 3
+        assert f2c[1] == f2c[2]
+        # vertex weights summed
+        merged = f2c[1]
+        assert coarse.vwgt[merged] == 2
+
+    def test_intra_pair_edge_vanishes(self):
+        g = path4()
+        coarse, _ = contract(g, [0, 2, 1, 3])
+        # the weight-10 edge is inside the contracted pair
+        assert coarse.total_edge_weight == 2
+
+    def test_parallel_coarse_edges_merge(self):
+        # square 0-1-2-3-0; match (0,1) and (2,3): two coarse vertices
+        # connected by the two cross edges -> one edge of weight 2
+        g = CSRGraph.from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)])
+        coarse, _ = contract(g, [1, 0, 3, 2])
+        assert coarse.num_vertices == 2
+        assert coarse.num_edges == 1
+        assert coarse.total_edge_weight == 2
+
+    @given(csr_graphs(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40)
+    def test_contract_conserves_vertex_weight(self, g, seed):
+        match = heavy_edge_matching(g, random.Random(seed))
+        coarse, _ = contract(g, match)
+        assert coarse.total_vertex_weight == g.total_vertex_weight
+
+    @given(csr_graphs(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40)
+    def test_contract_never_increases_edge_weight(self, g, seed):
+        match = heavy_edge_matching(g, random.Random(seed))
+        coarse, _ = contract(g, match)
+        assert coarse.total_edge_weight <= g.total_edge_weight
+
+
+class TestCoarsenLadder:
+    def test_ladder_shrinks(self):
+        rng = random.Random(0)
+        from repro.graph import generators as gen
+        from repro.graph.undirected import collapse_to_undirected
+
+        big = CSRGraph.from_undirected(
+            collapse_to_undirected(gen.grid_graph(12, 12))
+        )
+        levels = coarsen(big, rng, coarsen_to=20)
+        sizes = [l.graph.num_vertices for l in levels]
+        assert sizes[0] == 144
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_ladder_respects_target(self):
+        rng = random.Random(1)
+        from repro.graph import generators as gen
+        from repro.graph.undirected import collapse_to_undirected
+
+        big = CSRGraph.from_undirected(
+            collapse_to_undirected(gen.grid_graph(10, 10))
+        )
+        levels = coarsen(big, rng, coarsen_to=30)
+        # every level except the last must be above the target
+        for level in levels[:-1]:
+            assert level.graph.num_vertices > 30
+
+    def test_star_graph_stagnates_gracefully(self):
+        # a star can only halve once per level around the hub; min
+        # reduction cutoff must terminate the ladder, not loop forever
+        edges = [(0, i, 1) for i in range(1, 60)]
+        star = CSRGraph.from_edges(60, edges)
+        levels = coarsen(star, random.Random(0), coarsen_to=4, max_levels=50)
+        assert len(levels) < 50
+
+    def test_project_partition_round_trip(self):
+        g = path4()
+        match = [1, 0, 3, 2]
+        coarse, f2c = contract(g, match)
+        from repro.metis.coarsen import CoarseLevel
+
+        level = CoarseLevel(graph=coarse, fine_to_coarse=f2c)
+        fine_part = project_partition(level, [0, 1])
+        assert fine_part[0] == fine_part[1]
+        assert fine_part[2] == fine_part[3]
+        assert fine_part[0] != fine_part[2]

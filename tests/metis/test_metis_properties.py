@@ -1,0 +1,71 @@
+"""Property-based tests for the multilevel partitioner."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metis.graph import CSRGraph
+from repro.metis.kway import kway_partition
+
+
+@st.composite
+def weighted_graphs(draw, max_n=20):
+    n = draw(st.integers(min_value=4, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=n - 1,
+                 max_size=min(len(possible), 3 * n), unique=True)
+    )
+    weights = draw(st.lists(st.integers(min_value=1, max_value=20),
+                            min_size=len(edges), max_size=len(edges)))
+    vwgt = draw(st.lists(st.integers(min_value=1, max_value=4),
+                         min_size=n, max_size=n))
+    return CSRGraph.from_edges(
+        n, [(u, v, w) for (u, v), w in zip(edges, weights)], vwgt=vwgt
+    )
+
+
+@given(weighted_graphs(), st.integers(min_value=2, max_value=4),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_partition_is_total_and_valid(g, k, seed):
+    part = kway_partition(g, k, random.Random(seed))
+    assert len(part) == g.num_vertices
+    assert all(0 <= p < k for p in part)
+
+
+@given(weighted_graphs(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_cut_never_exceeds_total_weight(g, seed):
+    part = kway_partition(g, 2, random.Random(seed))
+    assert 0 <= g.cut_of(part) <= g.total_edge_weight
+
+
+@given(weighted_graphs(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_bisection_weight_within_tolerance(g, seed):
+    """On tiny graphs with lumpy vertex weights perfect balance can be
+    unattainable, but the heavy side can never exceed target by more
+    than the heaviest single vertex plus the ub slack."""
+    part = kway_partition(g, 2, random.Random(seed), ubfactor=1.05)
+    target = g.total_vertex_weight / 2.0
+    heaviest = max(g.vwgt)
+    w = g.part_weights(part, 2)
+    assert max(w) <= 1.05 * target + heaviest
+
+
+@given(weighted_graphs())
+@settings(max_examples=30, deadline=None)
+def test_deterministic_under_same_seed(g):
+    a = kway_partition(g, 3, random.Random(7))
+    b = kway_partition(g, 3, random.Random(7))
+    assert a == b
+
+
+@given(weighted_graphs(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_no_part_empty_when_k_le_n(g, seed):
+    k = min(3, g.num_vertices)
+    part = kway_partition(g, k, random.Random(seed))
+    assert len(set(part)) == k

@@ -1,0 +1,136 @@
+"""Unit tests for edge-cut and balance metrics (paper Eqs. 1-2)."""
+
+import pytest
+
+from repro.graph.builder import Interaction, build_graph
+from repro.metrics.balance import (
+    dynamic_balance,
+    normalized_balance,
+    static_balance,
+    window_balance,
+)
+from repro.metrics.edgecut import (
+    cross_shard_transaction_ratio,
+    dynamic_edge_cut,
+    static_edge_cut,
+    window_edge_cut,
+)
+
+
+def graph_and_assignment():
+    """Triangle 1-2-3 plus repeated edge 1->2; shards {1: 0, 2: 1, 3: 0}."""
+    stream = [
+        Interaction(0.0, 1, 2, tx_id=0),
+        Interaction(1.0, 1, 2, tx_id=1),
+        Interaction(2.0, 2, 3, tx_id=2),
+        Interaction(3.0, 3, 1, tx_id=3),
+    ]
+    return build_graph(stream), {1: 0, 2: 1, 3: 0}, stream
+
+
+class TestStaticEdgeCut:
+    def test_known_value(self):
+        g, asg, _ = graph_and_assignment()
+        # distinct edges: (1,2) cut, (2,3) cut, (3,1) not -> 2/3
+        assert static_edge_cut(g, asg) == pytest.approx(2 / 3)
+
+    def test_all_same_shard_zero(self):
+        g, _, _ = graph_and_assignment()
+        assert static_edge_cut(g, {1: 0, 2: 0, 3: 0}) == 0.0
+
+    def test_unassigned_counts_as_cut(self):
+        g, _, _ = graph_and_assignment()
+        assert static_edge_cut(g, {1: 0, 2: 0}) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        from repro.graph.digraph import WeightedDiGraph
+
+        assert static_edge_cut(WeightedDiGraph(), {}) == 0.0
+
+    def test_self_loop_ignored(self):
+        g = build_graph([Interaction(0.0, 1, 1, tx_id=0),
+                         Interaction(1.0, 1, 2, tx_id=1)])
+        assert static_edge_cut(g, {1: 0, 2: 1}) == 1.0
+
+
+class TestDynamicEdgeCut:
+    def test_weights_matter(self):
+        g, asg, _ = graph_and_assignment()
+        # weights: (1,2)=2 cut, (2,3)=1 cut, (3,1)=1 not -> 3/4
+        assert dynamic_edge_cut(g, asg) == pytest.approx(3 / 4)
+
+    def test_window_equivalent(self):
+        g, asg, stream = graph_and_assignment()
+        assert window_edge_cut(stream, asg) == dynamic_edge_cut(g, asg)
+
+    def test_window_empty(self):
+        assert window_edge_cut([], {}) == 0.0
+
+
+class TestCrossShardTxRatio:
+    def test_multi_call_tx_counted_once(self):
+        stream = [
+            Interaction(0.0, 1, 2, tx_id=0),  # crossing
+            Interaction(0.0, 2, 3, tx_id=0),  # same tx
+            Interaction(1.0, 1, 3, tx_id=1),  # within shard 0
+        ]
+        asg = {1: 0, 2: 1, 3: 0}
+        assert cross_shard_transaction_ratio(stream, asg) == pytest.approx(1 / 2)
+
+    def test_tx_with_unassigned_is_multi(self):
+        stream = [Interaction(0.0, 1, 9, tx_id=0)]
+        assert cross_shard_transaction_ratio(stream, {1: 0}) == 1.0
+
+    def test_all_local(self):
+        stream = [Interaction(0.0, 1, 2, tx_id=0)]
+        assert cross_shard_transaction_ratio(stream, {1: 0, 2: 0}) == 0.0
+
+
+class TestBalance:
+    def test_static_balance_eq2(self):
+        g, asg, _ = graph_and_assignment()
+        # counts: shard0 = 2 vertices, shard1 = 1 -> 2 * 2 / 3
+        assert static_balance(g, asg, 2) == pytest.approx(4 / 3)
+
+    def test_static_balance_ignores_unassigned(self):
+        g, _, _ = graph_and_assignment()
+        assert static_balance(g, {1: 0}, 2) == pytest.approx(2.0)
+
+    def test_static_balance_empty(self):
+        from repro.graph.digraph import WeightedDiGraph
+
+        assert static_balance(WeightedDiGraph(), {}, 4) == 1.0
+
+    def test_dynamic_balance_weighted(self):
+        g, asg, _ = graph_and_assignment()
+        # activity: v1=3, v2=3, v3=2; shard0 = 5, shard1 = 3 -> 5*2/8
+        assert dynamic_balance(g, asg, 2) == pytest.approx(10 / 8)
+
+    def test_window_balance_counts_endpoint_load(self):
+        stream = [Interaction(0.0, 1, 2, tx_id=0)]
+        # both endpoints on distinct shards: 1 unit each -> balanced
+        assert window_balance(stream, {1: 0, 2: 1}, 2) == pytest.approx(1.0)
+
+    def test_window_balance_skew(self):
+        stream = [Interaction(0.0, 1, 3, tx_id=0)]
+        # both endpoints on shard 0 -> everything on one of 2 shards
+        assert window_balance(stream, {1: 0, 3: 0}, 2) == pytest.approx(2.0)
+
+    def test_window_balance_empty(self):
+        assert window_balance([], {}, 4) == 1.0
+
+
+class TestNormalizedBalance:
+    def test_perfect_is_zero(self):
+        assert normalized_balance(1.0, 8) == 0.0
+
+    def test_worst_is_one(self):
+        assert normalized_balance(8.0, 8) == 1.0
+
+    def test_k1_defined(self):
+        assert normalized_balance(1.0, 1) == 0.0
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_midpoint_scales(self, k):
+        mid = 1.0 + (k - 1) / 2
+        assert normalized_balance(mid, k) == pytest.approx(0.5)

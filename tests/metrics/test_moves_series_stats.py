@@ -1,0 +1,132 @@
+"""Unit tests for move counting, metric series and distribution stats."""
+
+import pytest
+
+from repro.ethereum.state import WorldState
+from repro.metrics.moves import count_moves, moved_state_bytes
+from repro.metrics.series import MetricPoint, MetricSeries
+from repro.metrics.stats import summarize
+
+
+class TestMoves:
+    def test_count_moves_basic(self):
+        before = {1: 0, 2: 1, 3: 0}
+        after = {1: 1, 2: 1, 3: 0}
+        assert count_moves(before, after) == 1
+
+    def test_new_vertices_not_moves(self):
+        assert count_moves({1: 0}, {1: 0, 2: 1}) == 0
+
+    def test_disappeared_vertices_ignored(self):
+        assert count_moves({1: 0, 2: 0}, {1: 0}) == 0
+
+    def test_moved_state_bytes_counts_storage(self):
+        state = WorldState()
+        eoa = state.create_eoa()
+        contract = state.create_contract((0,), initial_storage={1: 1, 2: 2})
+        state.discard_journal()
+        before = {eoa.address: 0, contract.address: 0}
+        after = {eoa.address: 1, contract.address: 1}
+        total = moved_state_bytes(before, after, state)
+        assert total == eoa.state_bytes() + contract.state_bytes()
+        assert contract.state_bytes() > eoa.state_bytes()
+
+    def test_moved_state_bytes_skips_stationary(self):
+        state = WorldState()
+        eoa = state.create_eoa()
+        state.discard_journal()
+        assert moved_state_bytes({eoa.address: 0}, {eoa.address: 0}, state) == 0
+
+
+def pt(ts, moves=0, cut=0.1, interactions=5):
+    return MetricPoint(
+        ts=ts, static_edge_cut=cut, dynamic_edge_cut=cut,
+        static_balance=1.0, dynamic_balance=1.1,
+        cumulative_moves=moves, interactions=interactions,
+    )
+
+
+class TestSeries:
+    def test_append_ordered(self):
+        s = MetricSeries("m", 2)
+        s.append(pt(1.0))
+        s.append(pt(2.0))
+        with pytest.raises(ValueError, match="out-of-order"):
+            s.append(pt(1.5))
+
+    def test_column(self):
+        s = MetricSeries("m", 2)
+        s.append(pt(1.0, cut=0.2))
+        s.append(pt(2.0, cut=0.4))
+        assert s.column("dynamic_edge_cut") == [0.2, 0.4]
+
+    def test_between(self):
+        s = MetricSeries("m", 2)
+        for t in range(10):
+            s.append(pt(float(t)))
+        sub = s.between(3.0, 6.0)
+        assert sub.timestamps() == [3.0, 4.0, 5.0]
+        assert sub.method == "m"
+
+    def test_total_moves(self):
+        s = MetricSeries("m", 2)
+        assert s.total_moves == 0
+        s.append(pt(1.0, moves=5))
+        s.append(pt(2.0, moves=8))
+        assert s.total_moves == 8
+
+    def test_moves_between(self):
+        s = MetricSeries("m", 2)
+        s.append(pt(0.0, moves=0))
+        s.append(pt(1.0, moves=4))
+        s.append(pt(2.0, moves=9))
+        s.append(pt(3.0, moves=9))
+        assert s.moves_between(1.0, 3.0) == 9 - 0  # cumulative at t<3 minus t<1
+        assert s.moves_between(2.5, 10.0) == 0
+
+    def test_iter_len(self):
+        s = MetricSeries("m", 2)
+        s.append(pt(0.0))
+        assert len(s) == 1
+        assert list(s) == s.points
+
+
+class TestStats:
+    def test_five_number_summary(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.minimum == 1.0
+        assert summary.q1 == 2.0
+        assert summary.median == 3.0
+        assert summary.q3 == 4.0
+        assert summary.maximum == 5.0
+        assert summary.mean == 3.0
+        assert summary.iqr == 2.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.as_row() == (7.0, 7.0, 7.0, 7.0, 7.0)
+        assert summary.density_bins[0] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_quantile_interpolation(self):
+        summary = summarize([0.0, 10.0])
+        assert summary.median == 5.0
+        assert summary.q1 == 2.5
+
+    def test_density_normalised_to_peak(self):
+        summary = summarize([1.0] * 50 + [2.0], density_bins=4)
+        assert max(summary.density_bins) == 1.0
+        assert summary.density_bins[0] == 1.0
+        assert 0 < summary.density_bins[-1] < 0.2
+
+    def test_density_covers_range(self):
+        summary = summarize(list(range(100)), density_bins=10)
+        assert summary.density_lo == 0
+        assert summary.density_hi == 99
+        assert all(b > 0 for b in summary.density_bins)
+
+    def test_unordered_input(self):
+        assert summarize([5.0, 1.0, 3.0]).median == 3.0

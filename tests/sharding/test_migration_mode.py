@@ -1,0 +1,116 @@
+"""Tests for the state-migration execution mode (paper solution class b)."""
+
+import pytest
+
+from repro.ethereum.state import WorldState
+from repro.graph.builder import Interaction
+from repro.sharding.coordinator import ShardedExecution, ShardedExecutionConfig
+
+
+MIGRATE_CFG = ShardedExecutionConfig(
+    service_time=1.0, prepare_time=1.0, commit_time=0.5, network_rtt=2.0,
+    mode="migrate", migration_time_fixed=3.0,
+)
+
+
+def tx_stream(groups):
+    """groups: list of endpoint tuples, one transaction each."""
+    out = []
+    for i, endpoints in enumerate(groups):
+        for j in range(len(endpoints) - 1):
+            out.append(Interaction(
+                timestamp=float(i), src=endpoints[j], dst=endpoints[j + 1], tx_id=i
+            ))
+    return out
+
+
+class TestMigrateMode:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            ShardedExecution(2, {}, ShardedExecutionConfig(mode="teleport"))
+
+    def test_single_shard_tx_unaffected(self):
+        ex = ShardedExecution(2, {1: 0, 2: 0}, MIGRATE_CFG)
+        ex.submit_endpoints(0, (1, 2))
+        ex.sim.run()
+        assert ex.completed == 1
+        assert ex.migrations == 0
+        assert ex.latencies == [1.0]
+
+    def test_minority_vertex_moves_to_majority(self):
+        ex = ShardedExecution(2, {1: 0, 2: 0, 3: 1}, MIGRATE_CFG)
+        ex.submit_endpoints(0, (1, 2, 3))
+        ex.sim.run()
+        assert ex.migrations == 1
+        assert ex.assignment[3] == 0  # sticky move
+
+    def test_migration_latency(self):
+        ex = ShardedExecution(2, {1: 0, 2: 1}, MIGRATE_CFG)
+        ex.submit_endpoints(0, (1, 2))
+        ex.sim.run()
+        # tie between shards -> target 0; vertex 2 moves: 3s at source
+        # and 3s at target (parallel) then 1s local execution
+        assert ex.latencies == [pytest.approx(4.0)]
+
+    def test_second_tx_benefits_from_move(self):
+        ex = ShardedExecution(2, {1: 0, 2: 1}, MIGRATE_CFG)
+        ex.submit_endpoints(0, (1, 2))
+        ex.sim.run()
+        ex.submit_endpoints(1, (1, 2))
+        ex.sim.run()
+        assert ex.single_shard == 1  # the repeat pair is now co-located
+        assert ex.multi_shard == 1
+
+    def test_ping_pong_costs_repeatedly(self):
+        # vertex 2 is pulled between shard-0 and shard-1 majorities
+        ex = ShardedExecution(2, {1: 0, 2: 1, 3: 1, 4: 1}, MIGRATE_CFG)
+        ex.submit_endpoints(0, (1, 1, 2))  # tie 0 vs 1 -> target 0, 2 moves
+        ex.sim.run()
+        assert ex.assignment[2] == 0
+        ex.submit_endpoints(1, (2, 3, 4))  # majority on 1 -> 2 moves back
+        ex.sim.run()
+        assert ex.assignment[2] == 1
+        assert ex.migrations == 2
+
+    def test_state_sized_migration(self):
+        state = WorldState()
+        eoa = state.create_eoa()
+        fat = state.create_contract((0,), initial_storage={i: 1 for i in range(50)})
+        other = state.create_eoa()
+        state.discard_journal()
+        cfg = ShardedExecutionConfig(
+            service_time=1.0, mode="migrate", migration_bandwidth=1000.0
+        )
+        # two endpoints on shard 0, fat contract on shard 1 -> fat moves
+        ex = ShardedExecution(
+            2, {eoa.address: 0, other.address: 0, fat.address: 1}, cfg, state=state
+        )
+        ex.submit_endpoints(0, (eoa.address, other.address, fat.address))
+        ex.sim.run()
+        assert ex.migration_bytes == fat.state_bytes()
+        # transfer time dominates: bytes/bandwidth on each side
+        expected = fat.state_bytes() / 1000.0 + 1.0
+        assert ex.latencies[0] == pytest.approx(expected)
+
+    def test_original_assignment_not_mutated(self):
+        original = {1: 0, 2: 1}
+        ex = ShardedExecution(2, original, MIGRATE_CFG)
+        ex.submit_endpoints(0, (1, 2))
+        ex.sim.run()
+        assert original == {1: 0, 2: 1}
+
+    def test_replay_in_migrate_mode(self):
+        stream = tx_stream([(1, 2), (1, 2), (3, 3), (1, 2)])
+        ex = ShardedExecution(2, {1: 0, 2: 1, 3: 1}, MIGRATE_CFG)
+        report = ex.replay(stream, arrival_rate=0.01)  # serial arrivals
+        assert report.completed == 4
+        assert report.migrations == 1          # only the first (1,2) moves
+        assert report.multi_shard == 1
+        assert report.single_shard == 3
+
+    def test_report_carries_migration_stats(self):
+        ex = ShardedExecution(2, {1: 0, 2: 1}, MIGRATE_CFG)
+        ex.submit_endpoints(0, (1, 2))
+        ex.sim.run()
+        rep = ex.report()
+        assert rep.migrations == 1

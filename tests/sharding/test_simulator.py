@@ -1,0 +1,143 @@
+"""Unit tests for the DES kernel, shards and event queue."""
+
+import pytest
+
+from repro.errors import SimulationClockError
+from repro.sharding.events import EventQueue
+from repro.sharding.shard import Shard
+from repro.sharding.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.pop().callback()
+        q.pop().callback()
+        assert fired == ["a", "b"]
+
+    def test_fifo_at_same_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append(1))
+        q.push(1.0, lambda: fired.append(2))
+        q.pop().callback()
+        q.pop().callback()
+        assert fired == [1, 2]
+
+    def test_cancel(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        e.cancel()
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        assert q.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        out = []
+
+        def first():
+            out.append(sim.now)
+            sim.schedule(3.0, lambda: out.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert out == [1.0, 4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationClockError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationClockError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+
+
+class TestShard:
+    def test_serial_execution(self):
+        sim = Simulator()
+        shard = Shard(0, sim)
+        done = []
+        shard.submit(2.0, lambda: done.append(sim.now))
+        shard.submit(3.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 5.0]  # second job waits for the first
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        shard = Shard(0, sim)
+        shard.submit(2.0, lambda: None)
+        shard.submit(3.0, lambda: None)
+        sim.run()
+        assert shard.busy_time == 5.0
+        assert shard.jobs_done == 2
+        assert shard.utilization(10.0) == 0.5
+
+    def test_queue_wait_tracked(self):
+        sim = Simulator()
+        shard = Shard(0, sim)
+        shard.submit(2.0, lambda: None)
+        shard.submit(1.0, lambda: None)  # waits 2.0
+        sim.run()
+        assert shard.total_queue_wait == 2.0
+
+    def test_negative_service_rejected(self):
+        sim = Simulator()
+        shard = Shard(0, sim)
+        with pytest.raises(ValueError):
+            shard.submit(-1.0, lambda: None)
+
+    def test_idle_shard_starts_immediately(self):
+        sim = Simulator()
+        shard = Shard(0, sim)
+        done = []
+        shard.submit(1.5, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.5]

@@ -1,0 +1,52 @@
+"""Guard tests for the example scripts.
+
+Each example must compile and expose a ``main``; the fastest one runs
+end to end so the public-API wiring the examples demonstrate stays
+exercised by CI.  (Running every example would roughly double suite
+time for no additional coverage — they all sit on the same code paths
+the integration tests already execute.)
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "attack_replay", "sharding_study",
+            "custom_partitioner", "trace_analysis"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles_and_has_main(path):
+    module = load_example(path)
+    assert callable(getattr(module, "main", None))
+    assert module.__doc__, "examples must explain themselves"
+
+
+def test_quickstart_runs_end_to_end(capsys, monkeypatch):
+    """Run the quickstart against a tiny workload (patch the scale)."""
+    from repro.ethereum.workload import WorkloadConfig
+
+    module = load_example(EXAMPLES_DIR / "quickstart.py")
+    monkeypatch.setattr(
+        module.WorkloadConfig, "small",
+        classmethod(lambda cls, seed=42: WorkloadConfig.tiny(seed)),
+    )
+    module.main()
+    out = capsys.readouterr().out
+    assert "hash" in out and "metis" in out
+    assert "moves=0" in out
