@@ -3,6 +3,10 @@
 Regenerates the box/violin statistics of dynamic edge-cut, dynamic
 balance and per-period moves over the four 2017 sub-periods, in the
 paper's two configurations (k = 2 and k = 8).
+
+``compute_fig4`` replays all five methods in a single pass over the
+shared log (``ExperimentRunner.replay_many``), so the timed region is
+one multi-method comparison run per k.
 """
 
 import pytest

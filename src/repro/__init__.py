@@ -26,10 +26,12 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.analysis` — figure regeneration.
 """
 
+from repro.core.multireplay import MultiReplayEngine, replay_methods
 from repro.core.registry import available_methods, make_method
 from repro.core.replay import ReplayEngine, ReplayResult, replay_method
 from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
 from repro.graph.builder import GraphBuilder, Interaction
+from repro.graph.columnar import ColumnarLog
 from repro.graph.digraph import VertexKind, WeightedDiGraph
 from repro.metis import part_graph
 
@@ -44,8 +46,11 @@ __all__ = [
     "ReplayEngine",
     "ReplayResult",
     "replay_method",
+    "MultiReplayEngine",
+    "replay_methods",
     "GraphBuilder",
     "Interaction",
+    "ColumnarLog",
     "WeightedDiGraph",
     "VertexKind",
     "part_graph",

@@ -54,10 +54,9 @@ class Fig3Data:
 
 
 def compute_fig3(runner: ExperimentRunner, seed: int = 1) -> Fig3Data:
-    return Fig3Data(
-        hashing=runner.replay("hash", 2, seed=seed),
-        metis=runner.replay("metis", 2, seed=seed),
-    )
+    # both methods replay off one shared log stream (single-pass engine)
+    results = runner.replay_many(("hash", "metis"), 2, seed=seed)
+    return Fig3Data(hashing=results["hash"], metis=results["metis"])
 
 
 def render_fig3(data: Fig3Data) -> str:

@@ -41,8 +41,10 @@ def compute_fig4(
 ) -> List[Fig4Cell]:
     """All cells for one shard-count configuration."""
     cells: List[Fig4Cell] = []
+    # one shared pass over the log for every uncached method
+    results = runner.replay_many(methods, k, seed=seed)
     for method in methods:
-        result = runner.replay(method, k, seed=seed)
+        result = results[method]
         for label, start, end in FIG4_PERIODS:
             sub = result.series.between(start, end)
             pts = [p for p in sub.points if p.interactions > 0]

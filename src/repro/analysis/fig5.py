@@ -39,9 +39,11 @@ def compute_fig5(
 ) -> List[Fig5Row]:
     rows: List[Fig5Row] = []
     log = runner.workload.builder.log
+    # the whole (method × k) grid fans out of one shared log stream
+    grid = runner.replay_grid(methods, ks, seed=seed)
     for method in methods:
         for k in ks:
-            result = runner.replay(method, k, seed=seed)
+            result = grid[(method, k)]
             pts = [p for p in result.series.points if p.interactions > 0]
             cut = sum(p.dynamic_edge_cut for p in pts) / len(pts) if pts else 0.0
             bal = sum(p.dynamic_balance for p in pts) / len(pts) if pts else 1.0

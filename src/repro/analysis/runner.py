@@ -3,13 +3,21 @@
 Experiments are pure functions of (scale, seed, method, k, window), so
 the runner memoises them; Fig. 4 and Fig. 5 share most replays and the
 benchmark suite reuses the figures' runs across rounds.
+
+Method-comparison requests (:meth:`ExperimentRunner.replay_many` /
+:meth:`~ExperimentRunner.replay_grid`) go through the single-pass
+:class:`~repro.core.multireplay.MultiReplayEngine`: the interaction
+log is streamed and the cumulative graph built exactly once for all
+uncached (method, k) combinations, with results bit-identical to
+independent :meth:`~ExperimentRunner.replay` calls.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.multireplay import MultiReplayEngine
 from repro.core.registry import make_method
 from repro.core.replay import ReplayEngine, ReplayResult
 from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
@@ -66,3 +74,39 @@ class ExperimentRunner:
                 self.workload.builder.log, method, metric_window=self.metric_window
             ).run()
         return self._replays[key]
+
+    def replay_many(
+        self, method_names: Sequence[str], k: int, seed: int = 1
+    ) -> Dict[str, ReplayResult]:
+        """Replay several methods at one shard count in a single pass.
+
+        Uncached methods share one :class:`MultiReplayEngine` stream;
+        cached results are reused.  Returns name → result.
+        """
+        self.replay_grid(method_names, (k,), seed=seed)
+        return {m: self._replays[(m.lower(), k, seed)] for m in method_names}
+
+    def replay_grid(
+        self, method_names: Sequence[str], ks: Sequence[int], seed: int = 1
+    ) -> Dict[Tuple[str, int], ReplayResult]:
+        """Replay a (method × shard-count) grid in a single pass.
+
+        All uncached combinations fan out of one shared log stream —
+        methods with different ``k`` coexist in the same pass, so a
+        Fig. 5-style sweep builds the cumulative graph once instead of
+        |methods| × |ks| times.  Returns (name, k) → result.
+        """
+        wanted = list(dict.fromkeys((m, k) for m in method_names for k in ks))
+        missing = [
+            (m, k) for m, k in wanted if (m.lower(), k, seed) not in self._replays
+        ]
+        if missing:
+            methods = [make_method(m, k, seed=seed) for m, k in missing]
+            results = MultiReplayEngine(
+                self.workload.builder.log, methods, metric_window=self.metric_window
+            ).run()
+            for (m, k), result in zip(missing, results):
+                self._replays[(m.lower(), k, seed)] = result
+        return {
+            (m, k): self._replays[(m.lower(), k, seed)] for m, k in wanted
+        }

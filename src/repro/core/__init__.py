@@ -19,6 +19,7 @@ from repro.core.trmetis import TRMetisPartitioner
 from repro.core.placement import place_by_min_cut
 from repro.core.registry import available_methods, make_method
 from repro.core.replay import ReplayEngine, ReplayResult
+from repro.core.multireplay import MultiReplayEngine, replay_methods
 
 __all__ = [
     "ShardAssignment",
@@ -35,4 +36,6 @@ __all__ = [
     "available_methods",
     "ReplayEngine",
     "ReplayResult",
+    "MultiReplayEngine",
+    "replay_methods",
 ]

@@ -125,8 +125,20 @@ class ShardAssignment:
         clone._weights = list(self._weights)
         return clone
 
-    def validate(self) -> None:
-        """Re-derive counters and check internal consistency."""
+    def validate(self, graph: Optional[object] = None) -> None:
+        """Re-derive counters and check internal consistency.
+
+        Args:
+            graph: optional weight source with a ``vertex_weight(v)``
+                method (e.g. a
+                :class:`~repro.graph.digraph.WeightedDiGraph`).  When
+                given, the per-shard weight cache is re-derived from it
+                and checked too — catching drift from a :meth:`move`
+                called with the wrong weight, which the count check
+                alone cannot see.  Vertices unknown to the graph
+                contribute zero weight (a repartition proposal may
+                pre-place vertices the replay has not streamed yet).
+        """
         counts = [0] * self.k
         for v, s in self._map.items():
             if not 0 <= s < self.k:
@@ -136,6 +148,15 @@ class ShardAssignment:
             raise InvalidPartitionError(
                 f"count cache out of sync: {counts} != {self._counts}"
             )
+        if graph is not None:
+            weights = [0] * self.k
+            for v, s in self._map.items():
+                if v in graph:
+                    weights[s] += graph.vertex_weight(v)
+            if weights != self._weights:
+                raise InvalidPartitionError(
+                    f"weight cache out of sync: {weights} != {self._weights}"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"ShardAssignment(k={self.k}, |V|={len(self._map)}, counts={self._counts})"

@@ -59,13 +59,21 @@ class FennelPartitioner(PartitionMethod):
         tx_endpoints: Sequence[int],
         assignment: ShardAssignment,
     ) -> int:
-        # affinity: co-endpoints of the introducing transaction that
-        # already live somewhere
+        # affinity: *distinct* co-endpoints of the introducing
+        # transaction that already live somewhere.  tx_endpoints lists
+        # src/dst per interaction in the bucket, so a counterparty
+        # repeated across the transaction's calls would otherwise be
+        # counted once per call — FENNEL's |N(v) ∩ shard| is over the
+        # neighbor set, not the call multiset.
         affinity = [0.0] * self.k
+        shard_of = assignment.shard_of
+        seen = set()
+        add_seen = seen.add
         for other in tx_endpoints:
-            if other == vertex:
+            if other == vertex or other in seen:
                 continue
-            shard = assignment.shard_of(other)
+            add_seen(other)
+            shard = shard_of(other)
             if shard is not None:
                 affinity[shard] += 1.0
 
@@ -73,11 +81,12 @@ class FennelPartitioner(PartitionMethod):
         total = sum(counts)
         avg = max(total / self.k, 1.0)
 
+        gamma = self.gamma
+        power = self.power
         best_shard = 0
         best_score = float("-inf")
-        for s in range(self.k):
-            penalty = self.gamma * (counts[s] / avg) ** self.power
-            score = affinity[s] - penalty
+        for s, count in enumerate(counts):
+            score = affinity[s] - gamma * (count / avg) ** power
             if score > best_score:
                 best_score = score
                 best_shard = s

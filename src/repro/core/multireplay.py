@@ -1,0 +1,322 @@
+"""Single-pass multi-method replay: one log stream, N method fan-outs.
+
+Every figure and benchmark that compares partitioning methods replays
+the *same* interaction log once per method.  All of that work except
+the method's own decisions is identical across runs: the window
+slicing, the transaction grouping, the cumulative
+:class:`~repro.graph.digraph.WeightedDiGraph` and the distinct-edge
+detection do not depend on the method at all.
+
+:class:`MultiReplayEngine` streams the log exactly once and maintains
+the shared state a single time, fanning out only the per-method parts:
+
+* the :class:`~repro.core.assignment.ShardAssignment` (placement is
+  method- and history-dependent),
+* the incremental static-cut counter (depends on the assignment),
+* the per-window dynamic counters, the
+  :class:`~repro.metrics.series.MetricSeries` and the repartition
+  events.
+
+For deterministic (seeded) methods the results are bit-identical to N
+independent :class:`~repro.core.replay.ReplayEngine` runs — the single
+engine is in fact implemented as a one-method fan-out, so there is
+only one streaming loop in the codebase.  The shared cumulative graph
+is built once and the *same* object is referenced by every
+:class:`~repro.core.replay.ReplayResult`; treat it as read-only.
+
+The log may be a plain ``Sequence[Interaction]`` or a
+:class:`~repro.graph.columnar.ColumnarLog`; with the columnar form,
+window boundaries resolve by bisect and rows materialise lazily, one
+window at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.assignment import ShardAssignment
+from repro.core.base import PartitionMethod, RepartitionEvent, ReplayContext
+from repro.core.replay import ReplayResult, apply_proposal, recount_static_cut
+from repro.graph.builder import Interaction, group_by_transaction
+from repro.graph.columnar import ColumnarLog
+from repro.graph.digraph import WeightedDiGraph
+from repro.graph.snapshot import METRIC_WINDOW
+from repro.metrics.series import MetricPoint, MetricSeries
+
+
+class _LogView(Sequence):
+    """Zero-copy, immutable view of ``log[start:stop]``.
+
+    Period buffers always cover a contiguous suffix of the streamed
+    log (they reset only at window boundaries), so every method's
+    ``period_interactions`` can share the one log instead of holding
+    its own boxed copy — with a :class:`ColumnarLog` underneath, rows
+    materialise only when a method actually reads them.
+    """
+
+    __slots__ = ("_log", "_start", "_stop")
+
+    def __init__(self, log, start: int, stop: int):
+        self._log = log
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self):
+        log = self._log
+        for i in range(self._start, self._stop):
+            yield log[i]
+
+    def __getitem__(self, i):
+        n = self._stop - self._start
+        if isinstance(i, slice):
+            start, stop, step = i.indices(n)
+            return [self._log[self._start + j] for j in range(start, stop, step)]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        return self._log[self._start + i]
+
+
+class _MethodState:
+    """Everything one method accumulates during the shared pass."""
+
+    __slots__ = (
+        "method", "k", "assignment", "series", "events",
+        "static_cut", "total_moves", "last_repartition_ts", "period_start",
+    )
+
+    def __init__(self, method: PartitionMethod, first_ts: float):
+        self.method = method
+        self.k = method.k
+        self.assignment = ShardAssignment(method.k)
+        self.series = MetricSeries(method=method.name, k=method.k)
+        self.events: List[RepartitionEvent] = []
+        self.static_cut = 0
+        self.total_moves = 0
+        self.last_repartition_ts = first_ts
+        # index into the shared log where this method's current
+        # repartition period begins
+        self.period_start = 0
+
+    def result(self, graph: WeightedDiGraph) -> ReplayResult:
+        return ReplayResult(
+            method=self.method.name,
+            k=self.k,
+            series=self.series,
+            assignment=self.assignment,
+            events=self.events,
+            graph=graph,
+        )
+
+
+class MultiReplayEngine:
+    """Replays an interaction log through many methods in one pass."""
+
+    def __init__(
+        self,
+        interactions: Union[Sequence[Interaction], ColumnarLog],
+        methods: Sequence[PartitionMethod],
+        metric_window: float = METRIC_WINDOW,
+        end_ts: Optional[float] = None,
+    ):
+        """Args:
+            interactions: the full, time-ordered interaction log — a
+                plain sequence or a :class:`ColumnarLog`.
+            methods: the partitioning methods under study.  Must be
+                distinct instances (each carries its own RNG and
+                repartitioning state); methods may use different ``k``.
+            metric_window: sampling window width in seconds (paper: 4h).
+            end_ts: replay horizon; defaults to one second past the
+                last interaction (the final-partial-window contract).
+        """
+        if metric_window <= 0:
+            raise ValueError("metric_window must be positive")
+        if len(set(map(id, methods))) != len(methods):
+            raise ValueError("methods must be distinct instances")
+        if isinstance(interactions, ColumnarLog):
+            self.clog: Optional[ColumnarLog] = interactions
+            self.log: Sequence[Interaction] = interactions
+            n = len(interactions)
+            first = interactions.first_timestamp if n else 0.0
+            last = interactions.last_timestamp if n else 0.0
+        else:
+            self.clog = None
+            self.log = interactions
+            n = len(interactions)
+            first = interactions[0].timestamp if n else 0.0
+            last = interactions[-1].timestamp if n else 0.0
+        self.methods = list(methods)
+        self.metric_window = metric_window
+        self._first_ts = first
+        if end_ts is None:
+            # one full second past the last interaction: a naive +epsilon
+            # is absorbed by float rounding at multi-year timestamps and
+            # silently drops the final window
+            end_ts = (last + 1.0) if n else 0.0
+        self.end_ts = end_ts
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[ReplayResult]:
+        """One pass over the log; results in ``methods`` order."""
+        log = self.log
+        clog = self.clog
+        n_log = len(log)
+        metric_window = self.metric_window
+        end_ts = self.end_ts
+
+        graph = WeightedDiGraph()
+        states = [_MethodState(m, self._first_ts) for m in self.methods]
+        distinct_edges = 0
+
+        idx = 0
+        window_start = self._first_ts if n_log else 0.0
+
+        while window_start < end_ts:
+            window_end = window_start + metric_window
+
+            # slice this window's interactions off the shared log
+            lo = idx
+            if clog is not None:
+                idx = max(clog.index_at(window_end), lo)
+                window: Sequence[Interaction] = clog[lo:idx]
+            else:
+                while idx < n_log and log[idx].timestamp < window_end:
+                    idx += 1
+                window = log[lo:idx]
+
+            # shared pass: grow the cumulative graph exactly once and
+            # precompute, per transaction bucket, the placement input
+            # (endpoint appearance order) and the accounting rows
+            # (src, dst, new-edge?) every method will replay against its
+            # own assignment
+            bucket_inputs: List = []
+            for _tx_id, bucket in group_by_transaction(window):
+                endpoints: List[int] = []
+                append_endpoint = endpoints.append
+                for it in bucket:
+                    append_endpoint(it.src)
+                    append_endpoint(it.dst)
+                for it in bucket:
+                    graph.add_vertex(it.src, it.src_kind, 0, it.timestamp)
+                    graph.add_vertex(it.dst, it.dst_kind, 0, it.timestamp)
+                rows: List = []
+                append_row = rows.append
+                for it in bucket:
+                    src, dst = it.src, it.dst
+                    is_new_edge = not graph.has_edge(src, dst)
+                    graph.add_vertex_weight(src, 1)
+                    if dst != src:
+                        graph.add_vertex_weight(dst, 1)
+                    graph.add_edge(src, dst, 1)
+                    if src != dst and is_new_edge:
+                        # static cut counts distinct *directed* edges,
+                        # per the paper's directed-graph formulation
+                        distinct_edges += 1
+                    append_row((src, dst, is_new_edge))
+                bucket_inputs.append((endpoints, rows))
+
+            # fan-out: placement, accounting and the window close for
+            # each method, with its state bound once per window
+            for st in states:
+                method = st.method
+                assignment = st.assignment
+                k = st.k
+                place_vertex = method.place_vertex
+                assign = assignment.assign
+                # hot path: bind the assignment's internals once per
+                # window instead of paying a method call per endpoint
+                # (equivalent to assignment[v] / assignment.add_weight)
+                shard_map = assignment._map
+                shard_weights = assignment._weights
+                load = [0] * k
+                wcut = 0
+                wtotal = 0
+                static_cut = st.static_cut
+                for endpoints, rows in bucket_inputs:
+                    for v in endpoints:
+                        if v not in shard_map:
+                            assign(v, place_vertex(v, endpoints, assignment))
+                    for src, dst, is_new_edge in rows:
+                        s_src = shard_map[src]
+                        shard_weights[s_src] += 1
+                        if src == dst:
+                            continue
+                        s_dst = shard_map[dst]
+                        shard_weights[s_dst] += 1
+                        if s_src != s_dst:
+                            if is_new_edge:
+                                static_cut += 1
+                            wcut += 1
+                            load[s_src] += 1
+                            load[s_dst] += 1
+                        else:
+                            load[s_src] += 2
+                        wtotal += 1
+                st.static_cut = static_cut
+
+                # window close: metrics, repartition offer, series point
+                dyn_cut = wcut / wtotal if wtotal else 0.0
+                load_total = sum(load)
+                dyn_balance = (
+                    (max(load) * k / load_total) if load_total else 1.0
+                )
+
+                ctx = ReplayContext(
+                    now=window_end,
+                    k=k,
+                    assignment=assignment,
+                    graph=graph,
+                    window_interactions=window,
+                    period_interactions=_LogView(log, st.period_start, idx),
+                    last_repartition_ts=st.last_repartition_ts,
+                    window_dynamic_edge_cut=dyn_cut,
+                    window_dynamic_balance=dyn_balance,
+                    rng=method.rng,
+                )
+                proposal = method.maybe_repartition(ctx)
+                if proposal is not None:
+                    moves = apply_proposal(proposal, assignment, graph)
+                    st.total_moves += moves
+                    st.static_cut = recount_static_cut(graph, assignment)
+                    st.period_start = idx
+                    st.last_repartition_ts = window_end
+                    st.events.append(
+                        RepartitionEvent(
+                            ts=window_end,
+                            moves=moves,
+                            reassigned=len(proposal),
+                            reason=method.name,
+                        )
+                    )
+
+                st.series.append(
+                    MetricPoint(
+                        ts=window_start,
+                        static_edge_cut=(
+                            (st.static_cut / distinct_edges) if distinct_edges else 0.0
+                        ),
+                        dynamic_edge_cut=dyn_cut,
+                        static_balance=assignment.static_balance(),
+                        dynamic_balance=dyn_balance,
+                        cumulative_moves=st.total_moves,
+                        interactions=len(window),
+                    )
+                )
+
+            window_start = window_end
+
+        return [st.result(graph) for st in states]
+
+
+def replay_methods(
+    interactions: Union[Sequence[Interaction], ColumnarLog],
+    methods: Sequence[PartitionMethod],
+    metric_window: float = METRIC_WINDOW,
+) -> List[ReplayResult]:
+    """Convenience one-call multi-method replay (results in input order)."""
+    return MultiReplayEngine(interactions, methods, metric_window=metric_window).run()

@@ -16,25 +16,38 @@ file), maintains the live shard assignment, and per metric window
 Static metrics are maintained incrementally (recomputed from scratch
 only at repartitionings), so a full replay is O(interactions + windows
 + repartitions × |E|) rather than O(windows × |E|).
+
+The streaming loop itself lives in
+:mod:`repro.core.multireplay`, which fans one pass over the log out to
+any number of methods; :class:`ReplayEngine` is its single-method
+facade.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.core.assignment import ShardAssignment
-from repro.core.base import PartitionMethod, RepartitionEvent, ReplayContext
-from repro.graph.builder import GraphBuilder, Interaction, group_by_transaction
+from repro.core.base import PartitionMethod, RepartitionEvent
+from repro.graph.builder import Interaction
 from repro.graph.digraph import WeightedDiGraph
 from repro.graph.snapshot import METRIC_WINDOW
-from repro.metrics.series import MetricPoint, MetricSeries
+from repro.metrics.series import MetricSeries
 
 
 @dataclasses.dataclass
 class ReplayResult:
-    """Everything a replay produced."""
+    """Everything a replay produced.
+
+    ``graph`` is the cumulative blockchain graph at the end of the
+    replay.  Results fanned out of one
+    :class:`~repro.core.multireplay.MultiReplayEngine` pass all
+    reference the *same* graph object (it is built once by design), so
+    treat it as read-only — derive from it with
+    :meth:`~repro.graph.digraph.WeightedDiGraph.copy` or
+    ``subgraph`` before mutating.
+    """
 
     method: str
     k: int
@@ -52,8 +65,45 @@ class ReplayResult:
         return sum(1 for e in self.events if e.moves or e.reassigned)
 
 
+def apply_proposal(
+    proposal: Mapping[int, int],
+    assignment: ShardAssignment,
+    graph: WeightedDiGraph,
+) -> int:
+    """Apply a repartition proposal; returns the move count."""
+    moves = 0
+    for v, shard in proposal.items():
+        current = assignment.shard_of(v)
+        if current is None:
+            # method proposed a vertex the replay has not seen yet;
+            # treat as a fresh placement (no move)
+            assignment.assign(v, shard)
+            continue
+        if current != shard:
+            assignment.move(v, shard, weight=graph.vertex_weight(v) if v in graph else 0)
+            moves += 1
+    return moves
+
+
+def recount_static_cut(graph: WeightedDiGraph, assignment: ShardAssignment) -> int:
+    """Recompute the distinct-directed-edge cut after a repartition."""
+    cut = 0
+    for src, dst, _w in graph.edges():
+        if src == dst:
+            continue
+        if assignment[src] != assignment[dst]:
+            cut += 1
+    return cut
+
+
 class ReplayEngine:
-    """Replays an interaction log through one partitioning method."""
+    """Replays an interaction log through one partitioning method.
+
+    This is the single-method special case of
+    :class:`~repro.core.multireplay.MultiReplayEngine`: :meth:`run`
+    delegates to the shared streaming loop with a one-method fan-out,
+    so both paths stay bit-identical by construction.
+    """
 
     def __init__(
         self,
@@ -86,167 +136,14 @@ class ReplayEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> ReplayResult:
-        method = self.method
-        k = self.k
-        assignment = ShardAssignment(k)
-        graph = WeightedDiGraph()
-        series = MetricSeries(method=method.name, k=k)
-        events: List[RepartitionEvent] = []
+        from repro.core.multireplay import MultiReplayEngine
 
-        # incremental static-metric counters
-        distinct_edges = 0
-        static_cut = 0
-
-        period_buffer: List[Interaction] = []
-        last_repartition_ts = self.log[0].timestamp if self.log else 0.0
-        total_moves = 0
-
-        log = self.log
-        idx = 0
-        n_log = len(log)
-        window_start = log[0].timestamp if log else 0.0
-
-        while window_start < self.end_ts:
-            window_end = window_start + self.metric_window
-            # collect this window's interactions
-            window: List[Interaction] = []
-            while idx < n_log and log[idx].timestamp < window_end:
-                window.append(log[idx])
-                idx += 1
-
-            wcut = 0
-            wtotal = 0
-            load: Counter = Counter()
-
-            for _tx_id, bucket in group_by_transaction(window):
-                # place new vertices, in endpoint-appearance order
-                endpoints: List[int] = []
-                for it in bucket:
-                    endpoints.append(it.src)
-                    endpoints.append(it.dst)
-                for it in bucket:
-                    for v, kind in ((it.src, it.src_kind), (it.dst, it.dst_kind)):
-                        if v not in assignment:
-                            shard = method.place_vertex(v, endpoints, assignment)
-                            assignment.assign(v, shard)
-                        graph.add_vertex(v, kind, 0, it.timestamp)
-
-                for it in bucket:
-                    src, dst = it.src, it.dst
-                    is_new_edge = not graph.has_edge(src, dst)
-                    graph.add_vertex_weight(src, 1)
-                    if dst != src:
-                        graph.add_vertex_weight(dst, 1)
-                    graph.add_edge(src, dst, 1)
-                    assignment.add_weight(src, 1)
-                    if dst != src:
-                        assignment.add_weight(dst, 1)
-
-                    if src != dst:
-                        s_src = assignment[src]
-                        s_dst = assignment[dst]
-                        crossing = s_src != s_dst
-                        if is_new_edge:
-                            # static cut counts distinct *directed* edges,
-                            # per the paper's directed-graph formulation
-                            distinct_edges += 1
-                            if crossing:
-                                static_cut += 1
-                        wtotal += 1
-                        if crossing:
-                            wcut += 1
-                        load[s_src] += 1
-                        load[s_dst] += 1
-                    period_buffer.append(it)
-
-            dyn_cut = wcut / wtotal if wtotal else 0.0
-            load_total = sum(load.values())
-            dyn_balance = (max(load.values()) * k / load_total) if load_total else 1.0
-
-            ctx = ReplayContext(
-                now=window_end,
-                k=k,
-                assignment=assignment,
-                graph=graph,
-                window_interactions=window,
-                period_interactions=period_buffer,
-                last_repartition_ts=last_repartition_ts,
-                window_dynamic_edge_cut=dyn_cut,
-                window_dynamic_balance=dyn_balance,
-                rng=method.rng,
-            )
-            proposal = method.maybe_repartition(ctx)
-            if proposal is not None:
-                moves = self._apply(proposal, assignment, graph)
-                total_moves += moves
-                static_cut = self._recount_static_cut(graph, assignment)
-                period_buffer = []
-                last_repartition_ts = window_end
-                events.append(
-                    RepartitionEvent(
-                        ts=window_end,
-                        moves=moves,
-                        reassigned=len(proposal),
-                        reason=method.name,
-                    )
-                )
-
-            series.append(
-                MetricPoint(
-                    ts=window_start,
-                    static_edge_cut=(static_cut / distinct_edges) if distinct_edges else 0.0,
-                    dynamic_edge_cut=dyn_cut,
-                    static_balance=assignment.static_balance(),
-                    dynamic_balance=dyn_balance,
-                    cumulative_moves=total_moves,
-                    interactions=len(window),
-                )
-            )
-            window_start = window_end
-
-        return ReplayResult(
-            method=method.name,
-            k=k,
-            series=series,
-            assignment=assignment,
-            events=events,
-            graph=graph,
-        )
-
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _apply(
-        proposal: Mapping[int, int],
-        assignment: ShardAssignment,
-        graph: WeightedDiGraph,
-    ) -> int:
-        """Apply a repartition proposal; returns the move count."""
-        moves = 0
-        for v, shard in proposal.items():
-            current = assignment.shard_of(v)
-            if current is None:
-                # method proposed a vertex the replay has not seen yet;
-                # treat as a fresh placement (no move)
-                assignment.assign(v, shard)
-                continue
-            if current != shard:
-                assignment.move(v, shard, weight=graph.vertex_weight(v) if v in graph else 0)
-                moves += 1
-        return moves
-
-    @staticmethod
-    def _recount_static_cut(
-        graph: WeightedDiGraph, assignment: ShardAssignment
-    ) -> int:
-        """Recompute the distinct-directed-edge cut after a repartition."""
-        cut = 0
-        for src, dst, _w in graph.edges():
-            if src == dst:
-                continue
-            if assignment[src] != assignment[dst]:
-                cut += 1
-        return cut
+        return MultiReplayEngine(
+            self.log,
+            [self.method],
+            metric_window=self.metric_window,
+            end_ts=self.end_ts,
+        ).run()[0]
 
 
 def replay_method(

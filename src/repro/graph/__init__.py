@@ -11,6 +11,9 @@ Public surface:
 * :class:`~repro.graph.digraph.WeightedDiGraph` — the graph container;
 * :class:`~repro.graph.builder.GraphBuilder` — incremental construction
   from interaction streams;
+* :class:`~repro.graph.columnar.ColumnarLog` — parallel-array log with
+  interned vertex ids and O(log N) window slicing (the multi-method
+  replay substrate);
 * :class:`~repro.graph.snapshot.WindowIndex` — time-window views
   (full/cumulative and reduced/window graphs used by METIS vs R-METIS);
 * :mod:`~repro.graph.undirected` — collapse to the weighted undirected
@@ -22,6 +25,7 @@ Public surface:
 
 from repro.graph.digraph import VertexKind, WeightedDiGraph
 from repro.graph.builder import GraphBuilder, Interaction
+from repro.graph.columnar import ColumnarLog
 from repro.graph.snapshot import WindowIndex
 from repro.graph.undirected import UndirectedView, collapse_to_undirected
 
@@ -30,6 +34,7 @@ __all__ = [
     "WeightedDiGraph",
     "GraphBuilder",
     "Interaction",
+    "ColumnarLog",
     "WindowIndex",
     "UndirectedView",
     "collapse_to_undirected",

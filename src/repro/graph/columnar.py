@@ -1,0 +1,197 @@
+"""Columnar interaction log: the shared storage of multi-method replays.
+
+A replay that compares k partitioning methods consumes the *same*
+time-ordered interaction log k times.  Keeping that log as a list of
+:class:`~repro.graph.builder.Interaction` objects is convenient but
+heavy: every field access is an attribute lookup and every window query
+is a linear scan.  :class:`ColumnarLog` stores the log as parallel
+arrays —
+
+* ``timestamp`` as a C double array,
+* ``src`` / ``dst`` as *interned* dense vertex indices (C int64),
+* ``tx_id`` as C int64,
+* vertex kinds as one byte per endpoint,
+
+— so the log of N interactions with V distinct vertices costs
+O(N * ~34 bytes + V ids) instead of N boxed objects, and any time
+window resolves to an index range with two bisects (O(log N)) instead
+of a scan.
+
+Interning gives every raw vertex id (an Ethereum address) a dense
+index in first-appearance order; dense indices are what array-based
+consumers (partitioners, accelerator kernels) want, and
+:meth:`vertex_id` / :meth:`vertex_index` translate both ways.
+
+The log is append-only and must stay time-ordered, mirroring
+:class:`~repro.graph.builder.GraphBuilder`'s contract.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union, overload
+
+from repro.graph.builder import Interaction
+from repro.graph.digraph import VertexKind
+
+#: Stable byte codes for vertex kinds (order = enum definition order).
+_KIND_LIST: Tuple[VertexKind, ...] = tuple(VertexKind)
+_KIND_CODE: Dict[VertexKind, int] = {k: i for i, k in enumerate(_KIND_LIST)}
+
+
+class ColumnarLog:
+    """Parallel-array interaction log with interned vertex ids."""
+
+    __slots__ = (
+        "_ts", "_src", "_dst", "_tx",
+        "_src_kind", "_dst_kind",
+        "_vertex_ids", "_vertex_index",
+    )
+
+    def __init__(self, interactions: Iterable[Interaction] = ()) -> None:
+        self._ts = array("d")
+        self._src = array("q")
+        self._dst = array("q")
+        self._tx = array("q")
+        self._src_kind = array("b")
+        self._dst_kind = array("b")
+        self._vertex_ids: List[int] = []       # dense index -> raw id
+        self._vertex_index: Dict[int, int] = {}  # raw id -> dense index
+        self.extend(interactions)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def from_interactions(cls, interactions: Iterable[Interaction]) -> "ColumnarLog":
+        """Build a columnar log from an Interaction sequence."""
+        return cls(interactions)
+
+    def intern(self, vertex: int) -> int:
+        """Dense index of a raw vertex id, allocating one if new."""
+        idx = self._vertex_index.get(vertex)
+        if idx is None:
+            idx = len(self._vertex_ids)
+            self._vertex_index[vertex] = idx
+            self._vertex_ids.append(vertex)
+        return idx
+
+    def append(self, it: Interaction) -> None:
+        """Append one interaction; rejects out-of-order timestamps."""
+        ts = self._ts
+        if ts and it.timestamp < ts[-1]:
+            raise ValueError(
+                f"out-of-order interaction: {it.timestamp} < {ts[-1]}"
+            )
+        ts.append(it.timestamp)
+        self._src.append(self.intern(it.src))
+        self._dst.append(self.intern(it.dst))
+        self._tx.append(it.tx_id)
+        self._src_kind.append(_KIND_CODE[it.src_kind])
+        self._dst_kind.append(_KIND_CODE[it.dst_kind])
+
+    def extend(self, interactions: Iterable[Interaction]) -> int:
+        """Append a stream of interactions; returns how many were added."""
+        n = 0
+        for it in interactions:
+            self.append(it)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # interning queries
+
+    @property
+    def num_vertices(self) -> int:
+        """Distinct vertices seen so far."""
+        return len(self._vertex_ids)
+
+    def vertex_id(self, index: int) -> int:
+        """Raw vertex id of a dense index."""
+        return self._vertex_ids[index]
+
+    def vertex_index(self, vertex: int) -> int:
+        """Dense index of a raw vertex id (KeyError if never seen)."""
+        return self._vertex_index[vertex]
+
+    def vertex_ids(self) -> Sequence[int]:
+        """All raw vertex ids in first-appearance (dense-index) order."""
+        return tuple(self._vertex_ids)
+
+    # ------------------------------------------------------------------
+    # row access
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def interaction(self, i: int) -> Interaction:
+        """Materialise row ``i`` as an Interaction."""
+        return Interaction(
+            timestamp=self._ts[i],
+            src=self._vertex_ids[self._src[i]],
+            dst=self._vertex_ids[self._dst[i]],
+            src_kind=_KIND_LIST[self._src_kind[i]],
+            dst_kind=_KIND_LIST[self._dst_kind[i]],
+            tx_id=self._tx[i],
+        )
+
+    @overload
+    def __getitem__(self, i: int) -> Interaction: ...
+    @overload
+    def __getitem__(self, i: slice) -> List[Interaction]: ...
+
+    def __getitem__(
+        self, i: Union[int, slice]
+    ) -> Union[Interaction, List[Interaction]]:
+        if isinstance(i, slice):
+            return [self.interaction(j) for j in range(*i.indices(len(self._ts)))]
+        if i < 0:
+            i += len(self._ts)
+        if not 0 <= i < len(self._ts):
+            raise IndexError(i)
+        return self.interaction(i)
+
+    def __iter__(self) -> Iterator[Interaction]:
+        for i in range(len(self._ts)):
+            yield self.interaction(i)
+
+    def to_interactions(self) -> List[Interaction]:
+        """The whole log as a list of Interaction objects."""
+        return [self.interaction(i) for i in range(len(self._ts))]
+
+    # ------------------------------------------------------------------
+    # time queries
+
+    @property
+    def first_timestamp(self) -> float:
+        """Timestamp of the first interaction (-inf if empty)."""
+        return self._ts[0] if self._ts else float("-inf")
+
+    @property
+    def last_timestamp(self) -> float:
+        """Timestamp of the most recent interaction (-inf if empty)."""
+        return self._ts[-1] if self._ts else float("-inf")
+
+    def timestamps(self) -> Sequence[float]:
+        """The timestamp column (read-only view semantics: do not mutate)."""
+        return self._ts
+
+    def index_at(self, ts: float) -> int:
+        """Index of the first interaction with timestamp >= ts (bisect)."""
+        return bisect_left(self._ts, ts)
+
+    def window_bounds(self, start: float, end: float) -> Tuple[int, int]:
+        """Index range [lo, hi) of interactions with start <= ts < end."""
+        return self.index_at(start), self.index_at(end)
+
+    def window(self, start: float, end: float) -> List[Interaction]:
+        """Materialised interactions with start <= ts < end."""
+        lo, hi = self.window_bounds(start, end)
+        return [self.interaction(i) for i in range(lo, hi)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ColumnarLog(|log|={len(self._ts)}, |V|={self.num_vertices}, "
+            f"span=[{self.first_timestamp}, {self.last_timestamp}])"
+        )

@@ -42,16 +42,26 @@ class Simulator:
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or
-        ``max_events`` have fired.  Returns the final clock."""
+        ``max_events`` have fired.  Returns the final clock.
+
+        When ``until`` is given, the clock always ends at ``until`` —
+        even if the queue drains early — so elapsed-time and
+        utilization figures are computed against the requested horizon.
+        (The clock does not advance to ``until`` on a ``max_events``
+        stop: the simulation was cut off mid-flight, not run out.)
+        """
         fired = 0
         while True:
             if max_events is not None and fired >= max_events:
                 break
             next_time = self._queue.peek_time()
             if next_time is None:
+                if until is not None and until > self._now:
+                    self._now = until
                 break
             if until is not None and next_time > until:
-                self._now = until
+                if until > self._now:  # never rewind a clock already past it
+                    self._now = until
                 break
             event = self._queue.pop()
             assert event is not None

@@ -133,6 +133,46 @@ class TestCopyValidate:
         a.assign(2, 1)
         a.validate()
 
+    def test_validate_with_graph_checks_weights(self):
+        from repro.graph.digraph import WeightedDiGraph
+
+        g = WeightedDiGraph()
+        g.add_vertex(1, weight=3)
+        g.add_vertex(2, weight=5)
+        a = ShardAssignment(2)
+        a.assign(1, 0, weight=3)
+        a.assign(2, 1, weight=5)
+        a.validate(g)
+
+    def test_validate_with_graph_catches_weight_drift(self):
+        # a move() called with the wrong weight drifts the weight cache
+        # while leaving the counts intact — the count-only validate()
+        # used to pass this silently
+        from repro.graph.digraph import WeightedDiGraph
+
+        g = WeightedDiGraph()
+        g.add_vertex(1, weight=3)
+        g.add_vertex(2, weight=5)
+        a = ShardAssignment(2)
+        a.assign(1, 0, weight=3)
+        a.assign(2, 1, weight=5)
+        a.move(1, 1, weight=99)  # wrong weight: cache now drifted
+        a.validate()  # counts still consistent: passes
+        with pytest.raises(InvalidPartitionError, match="weight cache"):
+            a.validate(g)
+
+    def test_validate_with_graph_ignores_unseen_vertices(self):
+        # repartition proposals may pre-place vertices the replay has
+        # not streamed yet; they carry zero weight
+        from repro.graph.digraph import WeightedDiGraph
+
+        g = WeightedDiGraph()
+        g.add_vertex(1, weight=2)
+        a = ShardAssignment(2)
+        a.assign(1, 0, weight=2)
+        a.assign(99, 1)  # not in the graph
+        a.validate(g)
+
     def test_as_dict_snapshot(self):
         a = ShardAssignment(2)
         a.assign(1, 0)

@@ -31,6 +31,30 @@ class TestPlacement:
         shard = m.place_vertex(99, [0, 99], a)
         assert shard == 1  # penalty beats one neighbor
 
+    def test_repeated_counterparty_counted_once(self):
+        # counts balanced (2 vs 2) so only affinity decides; vertex 10
+        # appears three times in the transaction's endpoint list but is
+        # a single neighbor, so shard 1 (two distinct neighbors) wins.
+        # Before the dedupe fix the triple-counted 10 dragged the
+        # placement to shard 0.
+        m = FennelPartitioner(2, seed=1)
+        a = ShardAssignment(2)
+        a.assign(10, 0)
+        a.assign(13, 0)
+        a.assign(11, 1)
+        a.assign(12, 1)
+        endpoints = [10, 10, 10, 11, 12, 99]
+        assert m.place_vertex(99, endpoints, a) == 1
+
+    def test_dedupe_preserves_self_exclusion(self):
+        # the vertex being placed never counts toward its own affinity,
+        # duplicated or not
+        m = FennelPartitioner(2, seed=1)
+        a = ShardAssignment(2)
+        a.assign(1, 0)
+        a.assign(2, 1)
+        assert m.place_vertex(99, [99, 99, 1, 99], a) == 0
+
     def test_no_neighbors_goes_light(self):
         m = FennelPartitioner(3, seed=1)
         a = ShardAssignment(3)

@@ -204,6 +204,41 @@ class TestRepartitioning:
         assert result.assignment[3] == 0
 
 
+class TestWindowEdgeCases:
+    def test_final_partial_window_emitted(self):
+        # ts 0..25 with 10s windows: [0,10), [10,20) and the partial
+        # [20,30) — the end_ts = last + 1.0 contract keeps the tail
+        log = log_of([(1, 2)] * 26, step=1.0)
+        result = replay_method(log, StaticMethod(2), metric_window=10.0)
+        assert len(result.series) == 3
+        assert [p.interactions for p in result.series.points] == [10, 10, 6]
+
+    def test_final_window_survives_float_rounding(self):
+        # multi-year timestamps, where a naive end_ts = last + epsilon
+        # would be absorbed by float rounding and drop the last window
+        base = 6.0e7
+        log = [Interaction(base + i, 1, 2, tx_id=i) for i in range(5)]
+        result = replay_method(log, StaticMethod(2), metric_window=2.0)
+        assert sum(p.interactions for p in result.series.points) == 5
+
+    def test_repartition_in_final_partial_window(self):
+        log = log_of([(1, 2), (3, 4), (5, 6)], step=1.0)
+
+        class LastWindowOnly(StaticMethod):
+            def maybe_repartition(self, ctx):
+                return {1: 0} if ctx.now >= 3.0 else None
+
+        # windows [0,2) and the partial [2,4); the proposal only fires
+        # at the final window close (now = 4.0)
+        result = replay_method(log, LastWindowOnly(2), metric_window=2.0)
+        assert len(result.series) == 2
+        assert len(result.events) == 1
+        assert result.events[0].ts == pytest.approx(4.0)
+        assert result.total_moves == 1
+        assert result.assignment[1] == 0
+        assert result.series.points[-1].cumulative_moves == 1
+
+
 class TestContext:
     def test_context_contents(self):
         log = log_of([(1, 2), (3, 4)], step=1.0, per_tx=2)
@@ -248,5 +283,5 @@ class TestHashReplayInvariants:
         result = replay_method(
             tiny_workload.builder.log, HashPartitioner(4), metric_window=12 * HOUR
         )
-        result.assignment.validate()
+        result.assignment.validate(result.graph)
         assert len(result.assignment) == result.graph.num_vertices

@@ -1,0 +1,99 @@
+"""Tests for the columnar interaction log."""
+
+import pytest
+
+from repro.graph.builder import Interaction
+from repro.graph.columnar import ColumnarLog
+from repro.graph.digraph import VertexKind
+
+
+def sample_log():
+    return [
+        Interaction(0.0, 10, 20, tx_id=0),
+        Interaction(1.0, 20, 30, VertexKind.ACCOUNT, VertexKind.CONTRACT, tx_id=1),
+        Interaction(1.0, 30, 10, VertexKind.CONTRACT, VertexKind.ACCOUNT, tx_id=1),
+        Interaction(5.0, 10, 10, tx_id=2),
+        Interaction(9.0, 40, 20, tx_id=3),
+    ]
+
+
+class TestRoundTrip:
+    def test_to_interactions_is_identity(self):
+        log = sample_log()
+        assert ColumnarLog.from_interactions(log).to_interactions() == log
+
+    def test_row_access(self):
+        log = sample_log()
+        clog = ColumnarLog(log)
+        assert clog[1] == log[1]
+        assert clog[-1] == log[-1]
+        assert clog[1:3] == log[1:3]
+        assert list(clog) == log
+
+    def test_len_and_kinds_preserved(self):
+        clog = ColumnarLog(sample_log())
+        assert len(clog) == 5
+        assert clog[1].dst_kind is VertexKind.CONTRACT
+        assert clog[2].src_kind is VertexKind.CONTRACT
+
+    def test_index_out_of_range(self):
+        clog = ColumnarLog(sample_log())
+        with pytest.raises(IndexError):
+            clog.interaction(99)
+        with pytest.raises(IndexError):
+            clog[5]
+
+    def test_empty(self):
+        clog = ColumnarLog()
+        assert len(clog) == 0
+        assert clog.num_vertices == 0
+        assert clog.to_interactions() == []
+        assert clog.first_timestamp == float("-inf")
+        assert clog.last_timestamp == float("-inf")
+        assert clog.window(0.0, 100.0) == []
+
+
+class TestInterning:
+    def test_dense_ids_in_first_appearance_order(self):
+        clog = ColumnarLog(sample_log())
+        assert clog.vertex_ids() == (10, 20, 30, 40)
+        assert clog.num_vertices == 4
+        assert clog.vertex_index(30) == 2
+        assert clog.vertex_id(3) == 40
+
+    def test_unknown_vertex_raises(self):
+        clog = ColumnarLog(sample_log())
+        with pytest.raises(KeyError):
+            clog.vertex_index(999)
+
+
+class TestOrdering:
+    def test_out_of_order_append_rejected(self):
+        clog = ColumnarLog(sample_log())
+        with pytest.raises(ValueError):
+            clog.append(Interaction(2.0, 1, 2, tx_id=9))
+
+    def test_equal_timestamp_ok(self):
+        clog = ColumnarLog(sample_log())
+        clog.append(Interaction(9.0, 1, 2, tx_id=9))
+        assert len(clog) == 6
+
+
+class TestWindowing:
+    def test_window_bounds_bisect(self):
+        clog = ColumnarLog(sample_log())
+        assert clog.window_bounds(0.0, 1.0) == (0, 1)
+        assert clog.window_bounds(1.0, 5.0) == (1, 3)
+        assert clog.window_bounds(5.0, 100.0) == (3, 5)
+        assert clog.window_bounds(2.0, 4.0) == (3, 3)
+
+    def test_window_matches_builder_semantics(self):
+        log = sample_log()
+        clog = ColumnarLog(log)
+        assert clog.window(1.0, 9.0) == [it for it in log if 1.0 <= it.timestamp < 9.0]
+
+    def test_index_at(self):
+        clog = ColumnarLog(sample_log())
+        assert clog.index_at(0.0) == 0
+        assert clog.index_at(1.0) == 1
+        assert clog.index_at(100.0) == 5

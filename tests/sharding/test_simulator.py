@@ -93,6 +93,44 @@ class TestSimulator:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_run_until_advances_clock_on_idle(self):
+        # an idle simulator asked to run to a horizon must report that
+        # horizon, not 0.0 — elapsed/utilization figures depend on it
+        sim = Simulator()
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_run_until_advances_clock_on_early_drain(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.run(until=10.0)
+        assert fired == [1]
+        assert sim.now == 10.0
+
+    def test_run_until_in_past_of_drained_queue_keeps_clock(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        sim.run(until=3.0)  # horizon already passed: clock must not rewind
+        assert sim.now == 5.0
+
+    def test_run_until_in_past_with_pending_events_keeps_clock(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run(until=3.0)  # event still pending: clock must not rewind
+        assert sim.now == 4.0
+
+    def test_max_events_stop_does_not_jump_to_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 1.0
+
     def test_events_processed_counter(self):
         sim = Simulator()
         sim.schedule(1.0, lambda: None)
