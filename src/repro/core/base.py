@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.core.assignment import ShardAssignment
 from repro.core.placement import place_by_min_cut
 from repro.graph.builder import Interaction
+from repro.graph.columnar import ColumnarLog
 from repro.graph.digraph import WeightedDiGraph
 
 
@@ -51,6 +52,16 @@ class ReplayContext:
         window_dynamic_balance: dynamic balance of the window just
             processed (TR-METIS trigger input).
         rng: the method's own seeded RNG.
+        columnar_log: the shared :class:`ColumnarLog` when the replay
+            streams one (else None).  Methods that can consume dense
+            vertex indices (warm-started METIS) read the log columns
+            directly instead of rebuilding graphs from ``graph`` /
+            ``period_interactions``.
+        log_hi: rows ``[0, log_hi)`` of ``columnar_log`` are exactly
+            the interactions replayed so far (the cumulative graph).
+        log_period_start: first row of the current repartition period;
+            rows ``[log_period_start, log_hi)`` are
+            ``period_interactions``.
     """
 
     now: float
@@ -64,6 +75,9 @@ class ReplayContext:
     window_dynamic_balance: float
     rng: random.Random
     _period_graph_cache: Optional[WeightedDiGraph] = None
+    columnar_log: Optional[ColumnarLog] = None
+    log_hi: int = 0
+    log_period_start: int = 0
 
     @property
     def period_graph(self) -> WeightedDiGraph:
@@ -107,6 +121,17 @@ class PartitionMethod(abc.ABC):
         self.rng = random.Random(seed)
 
     # ------------------------------------------------------------------
+
+    def begin_replay(self) -> None:
+        """Hook called by the replay engine at the start of each run.
+
+        Methods that accumulate per-replay state beyond their RNG (the
+        warm-started METIS variants keep an incremental graph builder,
+        a coarsening-ladder cache and the previous assignment) override
+        this to drop it, so a method instance reused across engines
+        never warm-starts one replay from another's state.  The base
+        implementation is a no-op.
+        """
 
     def place_vertex(
         self,

@@ -170,6 +170,8 @@ class MultiReplayEngine:
         end_ts = self.end_ts
 
         graph = WeightedDiGraph()
+        for m in self.methods:
+            m.begin_replay()
         states = [_MethodState(m, self._first_ts) for m in self.methods]
         distinct_edges = 0
 
@@ -277,6 +279,9 @@ class MultiReplayEngine:
                     window_dynamic_edge_cut=dyn_cut,
                     window_dynamic_balance=dyn_balance,
                     rng=method.rng,
+                    columnar_log=clog,
+                    log_hi=idx,
+                    log_period_start=st.period_start,
                 )
                 proposal = method.maybe_repartition(ctx)
                 if proposal is not None:

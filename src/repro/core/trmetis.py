@@ -44,6 +44,7 @@ class TRMetisPartitioner(RMetisPartitioner):
         max_interval: float = 6 * REPARTITION_PERIOD,
         ubfactor: float = 1.05,
         ntrials: int = 4,
+        warm: bool = False,
     ):
         """Args:
             cut_threshold: repartition when the window dynamic edge-cut
@@ -58,8 +59,14 @@ class TRMetisPartitioner(RMetisPartitioner):
             cooldown: minimum seconds between repartitionings.
             max_interval: repartition anyway after this long (safety
                 net, ~3 months by default; rarely reached in practice).
+            warm: warm-start each triggered repartition from the live
+                assignment on the ColumnarLog-built window graph (see
+                :mod:`repro.core.rmetis`).
         """
-        super().__init__(k, seed, period=max_interval, ubfactor=ubfactor, ntrials=ntrials)
+        super().__init__(
+            k, seed, period=max_interval, ubfactor=ubfactor, ntrials=ntrials,
+            warm=warm,
+        )
         if cut_threshold is None:
             cut_threshold = 0.85 * (1.0 - 1.0 / k)
         self.cut_threshold = cut_threshold
@@ -67,6 +74,10 @@ class TRMetisPartitioner(RMetisPartitioner):
         self.consecutive = max(1, consecutive)
         self.cooldown = cooldown
         self.max_interval = max_interval
+        self._streak = 0
+
+    def begin_replay(self) -> None:
+        super().begin_replay()
         self._streak = 0
 
     def maybe_repartition(self, ctx: ReplayContext) -> Optional[Mapping[int, int]]:

@@ -78,11 +78,19 @@ class ColumnarLog:
         return idx
 
     def append(self, it: Interaction) -> None:
-        """Append one interaction; rejects out-of-order timestamps."""
+        """Append one interaction; rejects out-of-order timestamps.
+
+        The log is append-only and time-ordered (the contract every
+        window bisect and every incremental consumer relies on); an
+        interaction older than the current tail is rejected with the
+        offending row position so the caller can locate the bad record.
+        """
         ts = self._ts
         if ts and it.timestamp < ts[-1]:
             raise ValueError(
-                f"out-of-order interaction: {it.timestamp} < {ts[-1]}"
+                f"out-of-order interaction at row {len(ts)}: "
+                f"timestamp {it.timestamp} < log tail {ts[-1]} "
+                "(the log is append-only in time order)"
             )
         ts.append(it.timestamp)
         self._src.append(self.intern(it.src))
@@ -176,6 +184,19 @@ class ColumnarLog:
     def timestamps(self) -> Sequence[float]:
         """The timestamp column (read-only view semantics: do not mutate)."""
         return self._ts
+
+    def src_indices(self) -> Sequence[int]:
+        """The src column as *dense* vertex indices (read-only view).
+
+        Dense-index consumers (the CSR builders in
+        :mod:`repro.metis.graph`, accelerator kernels) iterate these
+        columns directly instead of materialising ``Interaction`` rows.
+        """
+        return self._src
+
+    def dst_indices(self) -> Sequence[int]:
+        """The dst column as *dense* vertex indices (read-only view)."""
+        return self._dst
 
     def index_at(self, ts: float) -> int:
         """Index of the first interaction with timestamp >= ts (bisect)."""

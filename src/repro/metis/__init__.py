@@ -18,9 +18,24 @@ Python:
    refinement pass.
 
 Entry point: :func:`~repro.metis.api.part_graph`.
+
+For repeated runs on a growing graph (periodic repartitioning),
+``part_graph(warm_start=...)`` projects the previous assignment and
+refines instead of re-coarsening; :class:`~repro.metis.graph.ColumnarCSRBuilder`
+feeds it CSR graphs built incrementally from a
+:class:`~repro.graph.columnar.ColumnarLog`'s dense indices, and
+:class:`~repro.metis.coarsen.LadderCache` carries the coarsening
+hierarchy across cold restarts.
 """
 
 from repro.metis.api import PartGraphResult, part_graph
-from repro.metis.graph import CSRGraph
+from repro.metis.coarsen import LadderCache
+from repro.metis.graph import ColumnarCSRBuilder, CSRGraph
 
-__all__ = ["part_graph", "PartGraphResult", "CSRGraph"]
+__all__ = [
+    "part_graph",
+    "PartGraphResult",
+    "CSRGraph",
+    "ColumnarCSRBuilder",
+    "LadderCache",
+]

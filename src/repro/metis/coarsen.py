@@ -87,17 +87,9 @@ def coarsen(
     ``max_levels`` rungs, or when a matching shrinks the graph by less
     than ``min_reduction``.
     """
-    levels: List[CoarseLevel] = [CoarseLevel(graph=graph)]
-    current = graph
-    for _ in range(max_levels):
-        if current.num_vertices <= coarsen_to:
-            break
-        match = matcher(current, rng)
-        if matching_size(match) < min_reduction * current.num_vertices / 2:
-            break  # stagnation (e.g. a star): stop rather than crawl
-        coarse, fine_to_coarse = contract(current, match)
-        levels.append(CoarseLevel(graph=coarse, fine_to_coarse=fine_to_coarse))
-        current = coarse
+    levels, _matchings = _coarsen_capture(
+        graph, rng, coarsen_to, max_levels, min_reduction, matcher
+    )
     return levels
 
 
@@ -109,3 +101,151 @@ def project_partition(level: CoarseLevel, coarse_part: List[int]) -> List[int]:
     """
     assert level.fine_to_coarse is not None, "finest level has no projection"
     return [coarse_part[c] for c in level.fine_to_coarse]
+
+
+# ----------------------------------------------------------------------
+# warm-started coarsening: reuse the previous run's matching decisions
+
+
+@dataclasses.dataclass
+class LadderCache:
+    """Coarsening state carried between successive partitioner runs.
+
+    Successive periodic repartitionings coarsen *grown versions of the
+    same graph*: vertices only get appended (prefix-stable indices, as
+    :class:`~repro.metis.graph.ColumnarCSRBuilder` guarantees) and edges
+    only gain weight.  The expensive part of coarsening is deciding the
+    matchings; this cache keeps the matching used at every rung so the
+    next run can replay the unchanged prefix of the hierarchy and only
+    match the vertices that are new since.
+
+    The cache is only valid across graphs that grow in place — reusing
+    it for an unrelated graph degrades quality (never correctness: every
+    extended matching is still a valid matching of the current graph).
+
+    Only the matchings are kept — the coarse graphs themselves are
+    rebuilt against the current edge weights on every run, so caching
+    them would hold the whole hierarchy's CSR arrays in memory for
+    nothing.
+    """
+
+    matchings: List[List[int]] = dataclasses.field(default_factory=list)
+    num_vertices: int = 0  # fine-graph size the ladder was built from
+
+    def clear(self) -> None:
+        self.matchings = []
+        self.num_vertices = 0
+
+    def _store(self, matchings: List[List[int]], num_vertices: int) -> None:
+        self.matchings = matchings
+        self.num_vertices = num_vertices
+
+
+def _coarsen_capture(
+    graph: CSRGraph,
+    rng: random.Random,
+    coarsen_to: int,
+    max_levels: int,
+    min_reduction: float,
+    matcher: Callable[[CSRGraph, random.Random], List[int]] = heavy_edge_matching,
+) -> Tuple[List[CoarseLevel], List[List[int]]]:
+    """The one coarsening loop: ladder plus the matching used per rung.
+
+    :func:`coarsen` and both branches of :func:`coarsen_warm` delegate
+    here so the termination rules (``coarsen_to``, ``max_levels``,
+    ``min_reduction`` stagnation) live in exactly one place.
+    """
+    levels: List[CoarseLevel] = [CoarseLevel(graph=graph)]
+    matchings: List[List[int]] = []
+    current = graph
+    for _ in range(max_levels):
+        if current.num_vertices <= coarsen_to:
+            break
+        match = matcher(current, rng)
+        if matching_size(match) < min_reduction * current.num_vertices / 2:
+            break  # stagnation (e.g. a star): stop rather than crawl
+        coarse, fine_to_coarse = contract(current, match)
+        levels.append(CoarseLevel(graph=coarse, fine_to_coarse=fine_to_coarse))
+        matchings.append(match)
+        current = coarse
+    return levels, matchings
+
+
+def _extend_matching(graph: CSRGraph, old_match: List[int]) -> List[int]:
+    """Extend a cached matching of the first ``len(old_match)`` vertices.
+
+    Old pairs are kept verbatim; vertices beyond the cached prefix are
+    heavy-edge matched *among themselves* only.  Matching a new vertex
+    into the old prefix would renumber old coarse vertices and destroy
+    the prefix stability the cache exists to preserve; leaving new↔old
+    edges uncontracted at this rung merely defers them to refinement.
+    """
+    n_old = len(old_match)
+    n = graph.num_vertices
+    match = list(old_match) + [-1] * (n - n_old)
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    for v in range(n_old, n):
+        if match[v] != -1:
+            continue
+        best = -1
+        best_w = -1
+        for i in range(xadj[v], xadj[v + 1]):
+            u = adjncy[i]
+            if u >= n_old and u != v and match[u] == -1 and adjwgt[i] > best_w:
+                best = u
+                best_w = adjwgt[i]
+        if best == -1:
+            match[v] = v
+        else:
+            match[v] = best
+            match[best] = v
+    return match
+
+
+def coarsen_warm(
+    graph: CSRGraph,
+    rng: random.Random,
+    cache: LadderCache,
+    coarsen_to: int = 64,
+    max_levels: int = 40,
+    min_reduction: float = 0.05,
+) -> List[CoarseLevel]:
+    """Coarsen ``graph``, reusing (and updating) a :class:`LadderCache`.
+
+    When the cache holds a ladder for a no-larger prefix of this graph,
+    each cached rung's matching is extended with the new vertices and
+    re-contracted against the *current* edge weights; fresh heavy-edge
+    rungs are appended below the cached ladder if the coarsest graph is
+    still too large.  If extension leaves the coarsest graph badly
+    oversized (matchings decay as unmatched-prefix vertices accumulate),
+    the ladder is rebuilt cold.  Either way the cache is updated in
+    place for the next run.
+    """
+    n = graph.num_vertices
+    if cache.matchings and cache.num_vertices <= n:
+        levels: List[CoarseLevel] = [CoarseLevel(graph=graph)]
+        matchings: List[List[int]] = []
+        current = graph
+        for old_match in cache.matchings:
+            match = _extend_matching(current, old_match)
+            coarse, fine_to_coarse = contract(current, match)
+            levels.append(CoarseLevel(graph=coarse, fine_to_coarse=fine_to_coarse))
+            matchings.append(match)
+            current = coarse
+        # fresh heavy-edge rungs below the replayed ladder, same
+        # termination rules as a cold run
+        tail_levels, tail_matchings = _coarsen_capture(
+            current, rng, coarsen_to, max_levels - len(matchings), min_reduction
+        )
+        levels.extend(tail_levels[1:])
+        matchings.extend(tail_matchings)
+        current = tail_levels[-1].graph
+        if current.num_vertices <= 4 * coarsen_to:
+            cache._store(matchings, n)
+            return levels
+        # extension decayed (coarsest graph far above target): fall through
+    levels, matchings = _coarsen_capture(
+        graph, rng, coarsen_to, max_levels, min_reduction
+    )
+    cache._store(matchings, n)
+    return levels

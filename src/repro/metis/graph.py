@@ -8,14 +8,31 @@ every edge many times and dict-of-dict graphs are too slow for that.
 ``CSRGraph`` is immutable after construction.  ``from_undirected``
 bridges from the domain-level :class:`~repro.graph.undirected.UndirectedView`
 and keeps the original-vertex-id mapping.
+
+Two ColumnarLog bridges skip the ``WeightedDiGraph`` →
+``collapse_to_undirected`` → CSR rebuild entirely, reading the log's
+dense vertex indices straight into CSR arrays:
+
+* :meth:`CSRGraph.from_columnar` builds the undirected interaction
+  graph of any row range ``[start, stop)`` in one pass — the R-METIS /
+  TR-METIS reduced-window input;
+* :class:`ColumnarCSRBuilder` maintains the *cumulative* graph
+  incrementally: each :meth:`~ColumnarCSRBuilder.advance` call folds in
+  only the rows appended since the previous call, so periodic
+  full-graph repartitioning pays O(new rows) per period instead of
+  O(all rows) — the warm-started METIS hot path.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.errors import PartitionError
 from repro.graph.undirected import UndirectedView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.graph.columnar import ColumnarLog
 
 
 @dataclasses.dataclass
@@ -95,6 +112,66 @@ class CSRGraph:
         return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt, orig_ids=orig_ids)
 
     @classmethod
+    def from_columnar(
+        cls,
+        log: "ColumnarLog",
+        start: int = 0,
+        stop: Optional[int] = None,
+        vertex_weights: str = "unit",
+    ) -> "CSRGraph":
+        """Build the undirected interaction graph of log rows [start, stop).
+
+        Reads the dense src/dst index columns directly — no
+        ``Interaction`` boxing, no ``WeightedDiGraph`` and no
+        ``collapse_to_undirected`` pass.  Semantics match that pipeline:
+        edge weight u–v is the number of interactions between u and v in
+        either direction, self-interactions contribute no edge, and
+        ``vertex_weights`` is ``"unit"`` (all 1 — the paper's METIS
+        setup) or ``"activity"`` (interaction appearances, floored at 1;
+        a self-interaction counts its endpoint once).
+
+        Vertices are the ones appearing in the range, numbered in
+        first-appearance order; ``orig_ids`` maps back to raw vertex
+        ids.  For ``start == 0`` the numbering coincides with the log's
+        dense interning order.
+        """
+        _validate_vertex_weights(vertex_weights)  # fail before the scan
+        if stop is None:
+            stop = len(log)
+        src_col = log.src_indices()
+        dst_col = log.dst_indices()
+        local: Dict[int, int] = {}       # dense log index -> local CSR index
+        adj: List[Dict[int, int]] = []   # local adjacency accumulators
+        activity: List[int] = []
+        # NOTE: the per-row fold below is the compacting twin of
+        # ColumnarCSRBuilder.advance (dense indices, no remap) — keep
+        # the conventions in lockstep; tests pin their equivalence.
+        for i in range(start, stop):
+            s = src_col[i]
+            d = dst_col[i]
+            ls = local.get(s)
+            if ls is None:
+                ls = local[s] = len(adj)
+                adj.append({})
+                activity.append(0)
+            activity[ls] += 1
+            if d == s:
+                continue
+            ld = local.get(d)
+            if ld is None:
+                ld = local[d] = len(adj)
+                adj.append({})
+                activity.append(0)
+            activity[ld] += 1
+            adj_s = adj[ls]
+            adj_s[ld] = adj_s.get(ld, 0) + 1
+            adj_d = adj[ld]
+            adj_d[ls] = adj_d.get(ls, 0) + 1
+
+        orig_ids = [log.vertex_id(dense) for dense in local]
+        return _emit_csr(adj, activity, vertex_weights, orig_ids)
+
+    @classmethod
     def from_edges(
         cls,
         n: int,
@@ -151,3 +228,123 @@ class CSRGraph:
         for v in range(self.num_vertices):
             weights[part[v]] += self.vwgt[v]
         return weights
+
+
+class ColumnarCSRBuilder:
+    """Incrementally accumulates a ColumnarLog's *cumulative* graph.
+
+    The periodic full-graph METIS method partitions the cumulative
+    interaction graph every period.  Rebuilding that graph from scratch
+    costs O(total rows) per period; this builder keeps per-vertex
+    adjacency accumulators keyed by the log's dense indices and folds in
+    only the rows appended since the last :meth:`advance`, so a period
+    costs O(new rows) plus an O(V + E) :meth:`snapshot` to emit the
+    immutable CSR arrays the partitioner wants.
+
+    Vertex v of every snapshot is dense index v of the log, so snapshots
+    of a growing log are *prefix-stable*: an earlier snapshot's vertices
+    keep their indices in every later snapshot.  Warm-started
+    repartitioning (``part_graph(warm_start=...)``) and the coarsening
+    ladder cache both rely on exactly this property.
+    """
+
+    __slots__ = ("log", "_upto", "_adj", "_activity")
+
+    def __init__(self, log: "ColumnarLog") -> None:
+        self.log = log
+        self._upto = 0                       # rows [0, _upto) consumed
+        self._adj: List[Dict[int, int]] = []
+        self._activity: List[int] = []
+
+    @property
+    def rows_consumed(self) -> int:
+        return self._upto
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def advance(self, upto: Optional[int] = None) -> int:
+        """Fold in log rows [rows_consumed, upto); returns rows added."""
+        if upto is None:
+            upto = len(self.log)
+        if upto < self._upto:
+            raise ValueError(
+                f"cannot rewind: already consumed {self._upto} rows, asked {upto}"
+            )
+        if upto > len(self.log):
+            # reject before touching the accumulators: failing mid-loop
+            # would leave rows half-folded and a retry would double-count
+            raise ValueError(
+                f"upto {upto} beyond log length {len(self.log)}"
+            )
+        src_col = self.log.src_indices()
+        dst_col = self.log.dst_indices()
+        adj = self._adj
+        activity = self._activity
+        # NOTE: per-row fold mirrors CSRGraph.from_columnar (which
+        # additionally compacts indices); both loops stay open-coded
+        # because a shared per-row helper costs a Python call on the
+        # hot path — change conventions in both or the warm cumulative
+        # graph diverges from the R-METIS window graph.
+        for i in range(self._upto, upto):
+            s = src_col[i]
+            d = dst_col[i]
+            hi = s if s > d else d
+            while len(adj) <= hi:
+                adj.append({})
+                activity.append(0)
+            activity[s] += 1
+            if d == s:
+                continue
+            activity[d] += 1
+            adj_s = adj[s]
+            adj_s[d] = adj_s.get(d, 0) + 1
+            adj_d = adj[d]
+            adj_d[s] = adj_d.get(s, 0) + 1
+        added = upto - self._upto
+        self._upto = upto
+        return added
+
+    def snapshot(self, vertex_weights: str = "unit") -> CSRGraph:
+        """Emit the cumulative graph of all consumed rows as a CSRGraph."""
+        orig_ids = [self.log.vertex_id(v) for v in range(len(self._adj))]
+        return _emit_csr(self._adj, self._activity, vertex_weights, orig_ids)
+
+
+def _validate_vertex_weights(vertex_weights: str) -> None:
+    if vertex_weights not in ("unit", "activity"):
+        raise PartitionError(
+            f"vertex_weights must be 'unit' or 'activity', got {vertex_weights!r}"
+        )
+
+
+def _emit_csr(
+    adj: List[Dict[int, int]],
+    activity: List[int],
+    vertex_weights: str,
+    orig_ids: List[int],
+) -> CSRGraph:
+    """Freeze per-vertex adjacency accumulators into CSR arrays.
+
+    Shared tail of :meth:`CSRGraph.from_columnar` and
+    :meth:`ColumnarCSRBuilder.snapshot` — the weight conventions (unit
+    vs activity-floored-at-1) live here exactly once.
+    """
+    _validate_vertex_weights(vertex_weights)
+    n = len(adj)
+    xadj = [0] * (n + 1)
+    adjncy: List[int] = []
+    adjwgt: List[int] = []
+    for v in range(n):
+        for nbr, w in adj[v].items():
+            adjncy.append(nbr)
+            adjwgt.append(w)
+        xadj[v + 1] = len(adjncy)
+    if vertex_weights == "unit":
+        vwgt = [1] * n
+    else:
+        vwgt = [max(1, a) for a in activity]
+    return CSRGraph(
+        xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt, orig_ids=orig_ids
+    )

@@ -4,16 +4,24 @@ METIS's pmetis-style approach: split the target weights in two, bisect,
 recurse into each side on the induced subgraph, then run a direct k-way
 greedy refinement pass over the assembled partition to clean up seams
 between recursion branches.
+
+:func:`warm_kway_partition` is the incremental entry: given a previous
+partition projected onto a grown graph (``-1`` marks vertices the
+previous run never saw), it places the new vertices by weighted
+neighbor majority and runs boundary-focused refinement from there,
+skipping coarsening entirely — the amortised path of periodic
+repartitioning.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.metis.bisect import multilevel_bisect
+from repro.metis.coarsen import LadderCache
 from repro.metis.graph import CSRGraph
-from repro.metis.refine import kway_refine
+from repro.metis.refine import boundary_kway_refine, kway_refine
 
 
 def _induced_subgraph(
@@ -147,6 +155,7 @@ def direct_kway_partition(
     initial: str = "greedy",
     ntrials: int = 8,
     refine_passes: int = 4,
+    ladder_cache: Optional[LadderCache] = None,
 ) -> List[int]:
     """kmetis-style direct k-way: one coarsening ladder, k-way initial
     partition of the coarsest graph, greedy k-way refinement at every
@@ -156,8 +165,13 @@ def direct_kway_partition(
     recursion level) this coarsens *once*, so it is markedly faster for
     larger k at comparable quality — the same tradeoff the two METIS
     binaries (pmetis/kmetis) embody.
+
+    ``ladder_cache`` (optional) reuses and updates a
+    :class:`~repro.metis.coarsen.LadderCache` from a previous run on a
+    prefix-stable grown version of the same graph — the cold-restart
+    path of warm-started periodic repartitioning.
     """
-    from repro.metis.coarsen import coarsen, project_partition
+    from repro.metis.coarsen import coarsen, coarsen_warm, project_partition
 
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -170,7 +184,10 @@ def direct_kway_partition(
         total = float(graph.total_vertex_weight)
         targets = [total / k] * k
 
-    levels = coarsen(graph, rng, coarsen_to=max(64, 12 * k))
+    if ladder_cache is not None:
+        levels = coarsen_warm(graph, rng, ladder_cache, coarsen_to=max(64, 12 * k))
+    else:
+        levels = coarsen(graph, rng, coarsen_to=max(64, 12 * k))
     coarsest = levels[-1].graph
 
     part = recursive_bisection(
@@ -186,6 +203,75 @@ def direct_kway_partition(
         part = project_partition(level, part)
         kway_refine(finer, part, k, _scaled_targets(targets, finer, graph),
                     ubfactor=ubfactor, max_passes=refine_passes)
+    return part
+
+
+def warm_kway_partition(
+    graph: CSRGraph,
+    k: int,
+    part: List[int],
+    targets: Sequence[float] = (),
+    ubfactor: float = 1.05,
+) -> List[int]:
+    """Incremental k-way partition from a projected previous partition.
+
+    ``part`` has length ``graph.num_vertices`` with entries in
+    ``0..k-1`` for vertices the previous run assigned and ``-1`` for
+    vertices that are new since.  New vertices are placed greedily by
+    weighted neighbor majority (ties and isolated vertices go to the
+    part with the lowest weight/target ratio — the Fennel-style load
+    term), then :func:`~repro.metis.refine.boundary_kway_refine` cleans
+    up from that projection.  No coarsening happens at all, which is
+    why warm periods cost O(boundary) instead of O(V + E) × levels.
+
+    Mutates and returns ``part``.
+    """
+    n = graph.num_vertices
+    if k == 1:
+        for v in range(n):
+            part[v] = 0
+        return part
+    if n == 0:
+        return part
+    if not targets:
+        total = float(graph.total_vertex_weight)
+        targets = [total / k] * k
+
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    weights = [0.0] * k
+    for v in range(n):
+        if part[v] >= 0:
+            weights[part[v]] += vwgt[v]
+
+    def lightest() -> int:
+        return min(
+            range(k),
+            key=lambda p: (weights[p] / targets[p] if targets[p] > 0 else weights[p], p),
+        )
+
+    for v in range(n):
+        if part[v] >= 0:
+            continue
+        conn: dict = {}
+        for i in range(xadj[v], xadj[v + 1]):
+            p = part[adjncy[i]]
+            if p >= 0:
+                conn[p] = conn.get(p, 0) + adjwgt[i]
+        if conn:
+            best = max(
+                conn.items(),
+                key=lambda item: (
+                    item[1],
+                    -(weights[item[0]] / targets[item[0]] if targets[item[0]] > 0 else 0.0),
+                    -item[0],
+                ),
+            )[0]
+        else:
+            best = lightest()
+        part[v] = best
+        weights[best] += vwgt[v]
+
+    boundary_kway_refine(graph, part, k, targets, ubfactor=ubfactor)
     return part
 
 

@@ -18,7 +18,10 @@ A direct k-way variant (:func:`kway_refine`) runs greedy
 best-neighbor-part moves on the final k-way partition — cheaper than FM
 bookkeeping across k parts and enough to clean up recursive-bisection
 seams, which is how METIS's k-way refinement is typically approximated
-in reimplementations.
+in reimplementations.  :func:`boundary_kway_refine` is its work-list
+form: it touches only boundary vertices and move cascades, which is
+what warm-started repartitioning runs from a projected previous
+partition.
 """
 
 from __future__ import annotations
@@ -225,6 +228,106 @@ def rebalance_kway(
     return moves
 
 
+def _best_kway_move(
+    pv: int,
+    vw: int,
+    conn: dict,
+    weights: List[float],
+    targets: Sequence[float],
+    ubfactor: float,
+):
+    """Best admissible destination part for one vertex, or its own part.
+
+    The single source of the k-way move rules — positive cut gain,
+    balance tolerance with a one-vertex floor, never empty a part —
+    shared by :func:`kway_refine` and :func:`boundary_kway_refine` so
+    warm and cold refinement can never drift apart.  ``conn`` maps
+    adjacent part → connecting edge weight; returns (part, gain).
+    """
+    internal = conn.get(pv, 0)
+    best_part = pv
+    best_gain = 0
+    for p, w in conn.items():
+        if p == pv:
+            continue
+        gain = w - internal
+        if gain <= best_gain:
+            continue
+        if weights[p] + vw > max(ubfactor * targets[p], targets[p] + vw):
+            continue
+        if weights[pv] - vw <= 0:
+            continue
+        best_gain = gain
+        best_part = p
+    return best_part, best_gain
+
+
+def boundary_kway_refine(
+    graph: CSRGraph,
+    part: List[int],
+    k: int,
+    targets: Sequence[float],
+    ubfactor: float = 1.05,
+    max_moves_factor: float = 2.0,
+) -> int:
+    """Queue-driven greedy k-way refinement touching only the boundary.
+
+    The warm-start workhorse: a projected previous partition is already
+    good almost everywhere, so instead of scanning every vertex per pass
+    (as :func:`kway_refine` does) this seeds a FIFO work-list with the
+    *boundary* vertices and re-enqueues only the neighborhood of each
+    applied move — O(boundary + cascades) instead of O(passes × n).
+    Move rules (gain, balance tolerance, never empty a part) match
+    :func:`kway_refine`; total moves are capped at
+    ``max_moves_factor × n`` to bound oscillation.  Returns the number
+    of moves applied — deliberately *not* the cut, which would cost a
+    full O(E) scan on the sub-O(E) warm path (callers that want the
+    cut compute it once at the end, as ``part_graph`` does).
+    """
+    from collections import deque
+
+    n = graph.num_vertices
+    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    rebalance_kway(graph, part, k, targets, ubfactor=ubfactor)
+    weights = [0.0] * k
+    for v in range(n):
+        weights[part[v]] += vwgt[v]
+
+    queued = [False] * n
+    queue: "deque[int]" = deque()
+    for v in range(n):
+        pv = part[v]
+        for i in range(xadj[v], xadj[v + 1]):
+            if part[adjncy[i]] != pv:
+                queue.append(v)
+                queued[v] = True
+                break
+
+    moves = 0
+    max_moves = int(max_moves_factor * n) + 1
+    while queue and moves < max_moves:
+        v = queue.popleft()
+        queued[v] = False
+        pv = part[v]
+        conn: dict = {}
+        for i in range(xadj[v], xadj[v + 1]):
+            p = part[adjncy[i]]
+            conn[p] = conn.get(p, 0) + adjwgt[i]
+        best_part, _gain = _best_kway_move(pv, vwgt[v], conn, weights, targets, ubfactor)
+        if best_part == pv:
+            continue
+        weights[pv] -= vwgt[v]
+        weights[best_part] += vwgt[v]
+        part[v] = best_part
+        moves += 1
+        for i in range(xadj[v], xadj[v + 1]):
+            u = adjncy[i]
+            if not queued[u]:
+                queue.append(u)
+                queued[u] = True
+    return moves
+
+
 def kway_refine(
     graph: CSRGraph,
     part: List[int],
@@ -256,23 +359,9 @@ def kway_refine(
             conn: dict = {}
             for i in range(xadj[v], xadj[v + 1]):
                 conn[part[adjncy[i]]] = conn.get(part[adjncy[i]], 0) + adjwgt[i]
-            internal = conn.get(pv, 0)
-            best_part = pv
-            best_gain = 0
-            for p, w in conn.items():
-                if p == pv:
-                    continue
-                gain = w - internal
-                if gain <= best_gain:
-                    continue
-                new_w = weights[p] + vwgt[v]
-                if new_w > max(ubfactor * targets[p], targets[p] + vwgt[v]):
-                    continue
-                # never empty a part entirely
-                if weights[pv] - vwgt[v] <= 0:
-                    continue
-                best_gain = gain
-                best_part = p
+            best_part, best_gain = _best_kway_move(
+                pv, vwgt[v], conn, weights, targets, ubfactor
+            )
             if best_part != pv:
                 weights[pv] -= vwgt[v]
                 weights[best_part] += vwgt[v]

@@ -73,6 +73,34 @@ class TestOrdering:
         with pytest.raises(ValueError):
             clog.append(Interaction(2.0, 1, 2, tx_id=9))
 
+    def test_out_of_order_error_names_row_and_timestamps(self):
+        """The append-only contract must fail with a locatable error:
+        the offending row position and both timestamps."""
+        clog = ColumnarLog(sample_log())
+        with pytest.raises(ValueError, match=r"row 5.*2\.0.*9\.0"):
+            clog.append(Interaction(2.0, 1, 2, tx_id=9))
+        assert len(clog) == 5  # nothing was appended
+
+    def test_out_of_order_extend_rejected_midstream(self):
+        clog = ColumnarLog()
+        bad = [
+            Interaction(1.0, 1, 2, tx_id=0),
+            Interaction(5.0, 2, 3, tx_id=1),
+            Interaction(3.0, 3, 4, tx_id=2),  # rewinds time
+        ]
+        with pytest.raises(ValueError, match="out-of-order"):
+            clog.extend(bad)
+        # the valid prefix was appended, the bad row was not
+        assert len(clog) == 2
+        assert clog.last_timestamp == 5.0
+
+    def test_out_of_order_constructor_rejected(self):
+        with pytest.raises(ValueError, match="out-of-order"):
+            ColumnarLog([
+                Interaction(4.0, 1, 2, tx_id=0),
+                Interaction(1.0, 2, 3, tx_id=1),
+            ])
+
     def test_equal_timestamp_ok(self):
         clog = ColumnarLog(sample_log())
         clog.append(Interaction(9.0, 1, 2, tx_id=9))

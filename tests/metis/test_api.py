@@ -107,10 +107,48 @@ class TestContracts:
         assert res.edge_cut == 0
         assert set(res.assignment.values()) == {0}
 
+    def test_k1_well_formed_result(self):
+        """Regression: k=1 must return a complete zero-cut result with
+        part_weights of length exactly 1."""
+        g = gen.ring_graph(10)
+        res = part_graph(g, 1, seed=0)
+        assert len(res.part_weights) == 1
+        und = collapse_to_undirected(g)
+        assert res.part_weights == [und.total_vertex_weight]
+        assert res.balance == 1.0
+
     def test_k_greater_than_n(self):
         g = gen.path_graph(3)
         res = part_graph(g, 8, seed=0)
         assert len(res.assignment) == 3
+
+    def test_empty_parts_keep_part_weights_length_k(self):
+        """Regression: with k > n some parts are necessarily empty —
+        part_weights must still have length k, sum to the total vertex
+        weight, and balance must reflect the overweight parts."""
+        g = gen.path_graph(3)
+        res = part_graph(g, 8, seed=0)
+        assert len(res.part_weights) == 8
+        und = collapse_to_undirected(g)
+        assert sum(res.part_weights) == und.total_vertex_weight
+        assert res.part_weights.count(0) >= 5  # at least 5 empty parts
+        # true imbalance: max * k / total — must not be understated
+        expected = max(res.part_weights) * 8 / sum(res.part_weights)
+        assert res.balance == expected
+        assert res.balance >= 8 / 3  # a nonempty part holds >= 1/3 of weight
+
+    def test_empty_graph_part_weights_length_k(self):
+        from repro.graph.digraph import WeightedDiGraph
+
+        res = part_graph(WeightedDiGraph(), 4, seed=0)
+        assert res.part_weights == [0, 0, 0, 0]
+        assert res.balance == 1.0
+
+    def test_part_weights_length_mismatch_rejected(self):
+        from repro.metis import PartGraphResult
+
+        with pytest.raises(PartitionError, match="length k=3"):
+            PartGraphResult(assignment={}, k=3, edge_cut=0, part_weights=[0, 0])
 
     def test_empty_graph(self):
         from repro.graph.digraph import WeightedDiGraph
@@ -130,6 +168,16 @@ class TestContracts:
     def test_invalid_vertex_weights_mode(self):
         with pytest.raises(PartitionError):
             part_graph(gen.ring_graph(5), 2, vertex_weights="bogus")
+
+    def test_invalid_vertex_weights_message_names_value(self):
+        """Regression: the error must echo the rejected value (the
+        original f-string had no placeholder)."""
+        with pytest.raises(PartitionError, match="'bogus'"):
+            part_graph(gen.ring_graph(5), 2, vertex_weights="bogus")
+
+    def test_invalid_scheme_message_names_value(self):
+        with pytest.raises(PartitionError, match="'zigzag'"):
+            part_graph(gen.ring_graph(5), 2, scheme="zigzag")
 
     def test_csr_input_accepted(self):
         csr = CSRGraph.from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
