@@ -4,40 +4,46 @@ The paper "adjusts thresholds to trigger a repartitioning in such a way
 that the performance does not diverge much" from R-METIS.  This
 ablation maps that frontier: tighter thresholds repartition more
 (more moves, better cut), looser ones barely repartition at all.
+
+The three variants are declarative method specs
+(``"tr-metis?cut_threshold=..."``), so they are first-class cells of
+one experiment grid: a single shared engine pass, cached/resumable
+like the unparameterised methods.
 """
 
 import pytest
 
 from benchmarks.conftest import write_artifact
 from repro.analysis.render import ascii_table
-from repro.core.replay import ReplayEngine
-from repro.core.trmetis import TRMetisPartitioner
-from repro.graph.snapshot import HOUR
+from repro.experiments import ExperimentSpec, run_experiment
 
 K = 2
 
+SETTINGS = {
+    "tight": "tr-metis?cut_threshold=0.25&balance_threshold=0.25",
+    "default": "tr-metis",
+    "loose": "tr-metis?cut_threshold=0.7&balance_threshold=0.8",
+}
+
 
 @pytest.mark.benchmark(group="ablation-threshold")
-def test_threshold_ablation(benchmark, runner, out_dir):
-    log = runner.workload.builder.log
-    settings = {
-        "tight": dict(cut_threshold=0.25, balance_threshold=0.25),
-        "default": dict(),
-        "loose": dict(cut_threshold=0.70, balance_threshold=0.80),
-    }
+def test_threshold_ablation(benchmark, runner, bench_scale, out_dir):
+    spec = ExperimentSpec(
+        scale=bench_scale,
+        workload_seed=runner.seed,
+        methods=tuple(SETTINGS.values()),
+        ks=(K,),
+        window_hours=runner.window_hours,
+    )
 
     def run_all():
-        out = {}
-        for name, kwargs in settings.items():
-            method = TRMetisPartitioner(K, seed=1, **kwargs)
-            out[name] = ReplayEngine(log, method, metric_window=24 * HOUR).run()
-        return out
+        rs = run_experiment(spec, workload=runner.workload)
+        return {name: rs.get(m, K) for name, m in SETTINGS.items()}
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     def mean_cut(res):
-        pts = [p for p in res.series.points if p.interactions > 0]
-        return sum(p.dynamic_edge_cut for p in pts) / len(pts)
+        return res.mean("dynamic_edge_cut")
 
     rows = [
         (name, f"{mean_cut(res):.3f}", res.total_moves, len(res.events))

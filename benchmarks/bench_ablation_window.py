@@ -4,39 +4,43 @@ The paper fixes the reduced-graph window at two weeks without
 justification; this ablation sweeps one/two/four weeks and reports the
 cut/balance/moves tradeoff (longer windows → fewer repartitionings but
 staler partitions and larger windows to move).
+
+Window lengths ride in the method specs (``"p-metis?period=..."``),
+so all three variants fan out of one shared experiment pass.
 """
 
 import pytest
 
 from benchmarks.conftest import write_artifact
 from repro.analysis.render import ascii_table
-from repro.core.replay import ReplayEngine
-from repro.core.rmetis import RMetisPartitioner
-from repro.graph.snapshot import HOUR, WEEK
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.graph.snapshot import WEEK
 
 K = 2
 
+WEEKS = (1, 2, 4)
+
 
 @pytest.mark.benchmark(group="ablation-window")
-def test_window_length_ablation(benchmark, runner, out_dir):
-    log = runner.workload.builder.log
+def test_window_length_ablation(benchmark, runner, bench_scale, out_dir):
+    methods = {w: f"p-metis?period={w * WEEK}" for w in WEEKS}
+    spec = ExperimentSpec(
+        scale=bench_scale,
+        workload_seed=runner.seed,
+        methods=tuple(methods.values()),
+        ks=(K,),
+        window_hours=runner.window_hours,
+    )
 
     def run_all():
-        out = {}
-        for weeks in (1, 2, 4):
-            method = RMetisPartitioner(K, seed=1, period=weeks * WEEK)
-            out[weeks] = ReplayEngine(log, method, metric_window=24 * HOUR).run()
-        return out
+        rs = run_experiment(spec, workload=runner.workload)
+        return {w: rs.get(m, K) for w, m in methods.items()}
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    def mean(res, col):
-        pts = [p for p in res.series.points if p.interactions > 0]
-        return sum(getattr(p, col) for p in pts) / len(pts)
-
     rows = [
-        (f"{weeks}w", f"{mean(res, 'dynamic_edge_cut'):.3f}",
-         f"{mean(res, 'dynamic_balance'):.3f}", res.total_moves,
+        (f"{weeks}w", f"{res.mean('dynamic_edge_cut'):.3f}",
+         f"{res.mean('dynamic_balance'):.3f}", res.total_moves,
          len(res.events))
         for weeks, res in sorted(results.items())
     ]
@@ -50,4 +54,4 @@ def test_window_length_ablation(benchmark, runner, out_dir):
     assert len(results[1].events) > len(results[2].events) > len(results[4].events)
     # all windows must keep cut far below the hashing level (~0.5)
     for res in results.values():
-        assert mean(res, "dynamic_edge_cut") < 0.45
+        assert res.mean("dynamic_edge_cut") < 0.45

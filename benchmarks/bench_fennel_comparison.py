@@ -5,41 +5,44 @@ zero-move property that still respects edges.  FENNEL-style streaming
 placement fills it; this bench positions it on the cut/balance/moves
 landscape next to the paper's methods (k = 4, full history).
 
-All six methods replay in a single pass over the shared log
-(:class:`~repro.core.multireplay.MultiReplayEngine`), so the timed
-region is one multi-method comparison run rather than six rebuilds of
-the same cumulative graph.  The engine is timed directly — not through
-the runner's memoising cache — so the measurement is cold regardless
-of what other benchmarks ran first in the session.
+All six methods are one declarative experiment grid replayed in a
+single pass over the shared log (``run_experiment`` without a store),
+so the timed region is one multi-method comparison run rather than six
+rebuilds of the same cumulative graph.  The run bypasses the runner's
+memoising cache, so the measurement is cold regardless of what other
+benchmarks ran first in the session.
 """
 
 import pytest
 
 from benchmarks.conftest import write_artifact
 from repro.analysis.render import ascii_table, format_si
-from repro.core.multireplay import MultiReplayEngine
-from repro.core.registry import PAPER_ORDER, make_method
-from repro.graph.snapshot import HOUR
+from repro.core.registry import PAPER_ORDER
+from repro.experiments import ExperimentSpec, run_experiment
 
 K = 4
 
 
 @pytest.mark.benchmark(group="fennel")
-def test_fennel_vs_paper_methods(benchmark, runner, out_dir):
-    log = runner.workload.builder.log
+def test_fennel_vs_paper_methods(benchmark, runner, bench_scale, out_dir):
     names = ["fennel"] + list(PAPER_ORDER)
+    spec = ExperimentSpec(
+        scale=bench_scale,
+        workload_seed=runner.seed,
+        methods=tuple(names),
+        ks=(K,),
+        window_hours=runner.window_hours,
+    )
 
     def run_all():
-        methods = [make_method(n, K, seed=1) for n in names]
-        replays = MultiReplayEngine(log, methods, metric_window=24 * HOUR).run()
-        return dict(zip(names, replays))
+        rs = run_experiment(spec, workload=runner.workload)
+        return {n: rs.get(n, K) for n in names}
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     fennel = results["fennel"]
 
     def mean(res, col):
-        pts = [p for p in res.series.points if p.interactions > 0]
-        return sum(getattr(p, col) for p in pts) / len(pts)
+        return res.mean(col)
 
     rows = [
         (name, f"{mean(res, 'dynamic_edge_cut'):.3f}",

@@ -1,45 +1,50 @@
 #!/usr/bin/env python
-"""Quickstart: generate a history, partition it, read the metrics.
+"""Quickstart: declare an experiment, run it, read the metrics.
 
 This walks the public API end to end in under a minute:
 
-1. generate a synthetic Ethereum-like history (full substrate: EVM-lite
-   executes every transaction);
-2. replay it through two partitioning methods (HASH and METIS) with two
-   shards;
-3. compare edge-cut, balance and moves — the paper's three metrics.
+1. declare the experiment as data: an :class:`ExperimentSpec` naming
+   the workload (scale + seed), the methods (HASH and METIS) and the
+   shard count;
+2. run it — ``run_experiment`` generates the synthetic Ethereum-like
+   history (full substrate: EVM-lite executes every transaction) and
+   replays all methods in one shared pass over the log;
+3. read edge-cut, balance and moves — the paper's three metrics —
+   from the returned :class:`ResultSet`.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import WorkloadConfig, generate_history, make_method, replay_method
-from repro.graph.snapshot import HOUR
+import os
+
+from repro import ExperimentSpec, run_experiment
+
+#: Workload scale; override with REPRO_QUICKSTART_SCALE=tiny for smoke runs.
+SCALE = os.environ.get("REPRO_QUICKSTART_SCALE", "small")
 
 
 def main() -> None:
-    # 1. a small but full-timeline history (≈6k transactions, 886 days)
-    print("generating synthetic history (scale: small)...")
-    history = generate_history(WorkloadConfig.small(seed=7))
-    graph = history.graph
-    print(
-        f"  {history.num_transactions} transactions -> "
-        f"{graph.num_vertices} vertices, {graph.num_edges} edges, "
-        f"{history.builder.num_interactions} interactions"
+    # 1. the whole experiment, as a value (small scale: ≈6k
+    #    transactions over the full 886-day timeline)
+    spec = ExperimentSpec(
+        scale=SCALE,
+        workload_seed=7,
+        methods=("hash", "metis"),
+        ks=(2,),
+        window_hours=24.0,
     )
+    print(f"running {len(spec.cells())} cells on workload {spec.workload_id()}...")
 
-    # 2. replay through two methods
-    for name in ("hash", "metis"):
-        method = make_method(name, k=2, seed=1)
-        result = replay_method(history.builder.log, method, metric_window=24 * HOUR)
+    # 2. one shared pass over the generated history for both methods
+    results = run_experiment(spec)
 
-        # 3. read the metrics
-        active = [p for p in result.series.points if p.interactions > 0]
-        mean_cut = sum(p.dynamic_edge_cut for p in active) / len(active)
-        mean_bal = sum(p.dynamic_balance for p in active) / len(active)
+    # 3. read the metrics
+    for cell in results:
         print(
-            f"  {name:6s}  dynamic edge-cut={mean_cut:.3f}  "
-            f"dynamic balance={mean_bal:.3f}  "
-            f"moves={result.total_moves}  repartitions={len(result.events)}"
+            f"  {cell.method:6s}  "
+            f"dynamic edge-cut={cell.mean('dynamic_edge_cut'):.3f}  "
+            f"dynamic balance={cell.mean('dynamic_balance'):.3f}  "
+            f"moves={cell.total_moves}  repartitions={len(cell.events)}"
         )
 
     print(

@@ -23,19 +23,36 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core` — the five partitioning methods + replay engine;
 * :mod:`repro.metrics` — edge-cut / balance / moves (Eqs. 1-2);
 * :mod:`repro.sharding` — sharded-execution discrete-event simulator;
+* :mod:`repro.experiments` — declarative specs, parallel sweeps,
+  serializable result sets;
 * :mod:`repro.analysis` — figure regeneration.
+
+Declarative sweeps::
+
+    from repro import ExperimentSpec, run_experiment
+
+    rs = run_experiment(ExperimentSpec(
+        scale="small", methods=("hash", "metis"), ks=(2, 4, 8)), jobs=4)
+    print(rs.get("metis", k=8).mean("dynamic_edge_cut"))
 """
 
 from repro.core.multireplay import MultiReplayEngine, replay_methods
-from repro.core.registry import available_methods, make_method
+from repro.core.registry import available_methods, make_method, register_method
 from repro.core.replay import ReplayEngine, ReplayResult, replay_method
 from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
+from repro.experiments import (
+    ExperimentSpec,
+    MethodSpec,
+    ResultSet,
+    ResultStore,
+    run_experiment,
+)
 from repro.graph.builder import GraphBuilder, Interaction
 from repro.graph.columnar import ColumnarLog
 from repro.graph.digraph import VertexKind, WeightedDiGraph
 from repro.metis import part_graph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "WorkloadConfig",
@@ -43,6 +60,12 @@ __all__ = [
     "generate_history",
     "make_method",
     "available_methods",
+    "register_method",
+    "ExperimentSpec",
+    "MethodSpec",
+    "ResultSet",
+    "ResultStore",
+    "run_experiment",
     "ReplayEngine",
     "ReplayResult",
     "replay_method",

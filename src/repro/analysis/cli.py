@@ -1,9 +1,19 @@
-"""Command-line entry point: regenerate any figure from the paper.
+"""Command-line entry point: figures and declarative sweeps.
 
 Installed as ``repro-experiments``::
 
     repro-experiments fig3 --scale small --seed 42
     repro-experiments all  --scale tiny
+    repro-experiments sweep --methods hash,metis,"tr-metis?warm=true" \
+        --grid 2,4,8 --jobs 4 --store results/ --out sweep.json
+    repro-experiments --list-methods
+
+``sweep`` runs an :class:`~repro.experiments.spec.ExperimentSpec`
+built from ``--methods`` (comma-separated method strings, parameters
+in query form) × ``--grid`` (shard counts), fanning uncached cells
+over ``--jobs`` processes; ``--store DIR`` makes the sweep resumable
+and ``--out FILE`` serializes the
+:class:`~repro.experiments.results.ResultSet` as JSON.
 """
 
 from __future__ import annotations
@@ -14,18 +24,24 @@ import time
 from typing import List, Optional
 
 from repro.analysis.runner import SCALES, ExperimentRunner
+from repro.experiments import ResultStore
+from repro.core.registry import PAPER_ORDER, available_methods, method_params
+
+FIGURES = ["fig1", "fig2", "fig3", "fig4", "fig5", "pitfall"]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate figures from 'Challenges and Pitfalls of "
-        "Partitioning Blockchains' (DSN 2018) on a synthetic trace.",
+        "Partitioning Blockchains' (DSN 2018) on a synthetic trace, or "
+        "run declarative method sweeps.",
     )
     parser.add_argument(
-        "figure",
-        choices=["fig1", "fig2", "fig3", "fig4", "fig5", "pitfall", "all"],
-        help="which artifact to regenerate",
+        "command",
+        nargs="?",
+        choices=FIGURES + ["all", "sweep"],
+        help="which artifact to regenerate, or 'sweep' for a custom grid",
     )
     parser.add_argument("--scale", default="small", choices=SCALES,
                         help="workload scale (default: small)")
@@ -34,22 +50,99 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="shard count override (fig4/pitfall)")
     parser.add_argument("--window-hours", type=float, default=24.0,
                         help="metric window width in hours (paper: 4)")
+    parser.add_argument("--methods", default=None,
+                        help="comma-separated method strings for 'sweep' "
+                        "(e.g. hash,metis,tr-metis?warm=true); default: "
+                        "the paper's five methods")
+    parser.add_argument("--grid", default=None,
+                        help="comma-separated shard counts for 'sweep' "
+                        "(default: 2,4,8)")
+    parser.add_argument("--replay-seed", type=int, default=1,
+                        help="method/replay seed (default: 1)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for uncached grid cells")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="result-store directory (sweeps resume from it)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the sweep's ResultSet as JSON")
+    parser.add_argument("--list-methods", action="store_true",
+                        help="list available methods and their parameters")
     args = parser.parse_args(argv)
 
+    if args.list_methods:
+        return _list_methods()
+    if args.command is None:
+        parser.error("a command is required (or use --list-methods)")
+
     runner = ExperimentRunner(
-        scale=args.scale, seed=args.seed, metric_window_hours=args.window_hours
+        scale=args.scale,
+        seed=args.seed,
+        metric_window_hours=args.window_hours,
+        jobs=args.jobs,
+        store=ResultStore(args.store) if args.store else None,
     )
     start = time.time()
-    wanted = (
-        ["fig1", "fig2", "fig3", "fig4", "fig5", "pitfall"]
-        if args.figure == "all"
-        else [args.figure]
-    )
-    for name in wanted:
-        _run_one(name, runner, args)
-        print()
+    if args.command == "sweep":
+        _run_sweep(runner, args)
+    else:
+        wanted = FIGURES if args.command == "all" else [args.command]
+        for name in wanted:
+            _run_one(name, runner, args)
+            print()
     print(f"[done in {time.time() - start:.1f}s, scale={args.scale}, seed={args.seed}]")
     return 0
+
+
+def _list_methods() -> int:
+    for name in available_methods():
+        params = method_params(name)
+        suffix = f"  ({', '.join(params)})" if params else ""
+        print(f"{name}{suffix}")
+    print(
+        "\nparameterise with query syntax, e.g. "
+        "\"tr-metis?warm=true&cut_threshold=0.3\""
+    )
+    return 0
+
+
+def _run_sweep(runner: ExperimentRunner, args) -> None:
+    from repro.analysis.render import ascii_table, format_si
+
+    methods = (
+        [m for m in args.methods.split(",") if m]
+        if args.methods
+        else list(PAPER_ORDER)
+    )
+    ks = (
+        [int(k) for k in args.grid.split(",") if k]
+        if args.grid
+        else [2, 4, 8]
+    )
+    spec = runner.spec(methods, ks, (args.replay_seed,))
+    print(f"sweep: {len(spec.cells())} cells "
+          f"({len(spec.methods)} methods x {len(spec.ks)} shard counts), "
+          f"jobs={args.jobs}, workload={spec.workload_id()}")
+    rs = runner.run(spec)
+    rows = [
+        (
+            cell.method,
+            cell.k,
+            f"{cell.mean('dynamic_edge_cut'):.3f}",
+            f"{cell.mean('dynamic_balance'):.3f}",
+            format_si(cell.total_moves),
+            cell.num_repartitions,
+        )
+        for cell in rs
+    ]
+    print(ascii_table(
+        ["method", "k", "dyn edge-cut", "dyn balance", "moves", "repartitions"],
+        rows,
+        title="sweep results (means over active windows)",
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rs.dumps())
+        print(f"[resultset: {args.out}]")
 
 
 def _run_one(name: str, runner: ExperimentRunner, args) -> None:

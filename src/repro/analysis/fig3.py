@@ -18,14 +18,14 @@ from typing import Dict, List
 
 from repro.analysis.render import sparkline
 from repro.analysis.runner import ExperimentRunner
-from repro.core.replay import ReplayResult
 from repro.ethereum.history import ATTACK_END, month_label
+from repro.experiments.results import CellResult
 
 
 @dataclasses.dataclass
 class Fig3Data:
-    hashing: ReplayResult
-    metis: ReplayResult
+    hashing: CellResult
+    metis: CellResult
 
     def summary(self) -> Dict[str, float]:
         def mean(series, col):
@@ -55,8 +55,8 @@ class Fig3Data:
 
 def compute_fig3(runner: ExperimentRunner, seed: int = 1) -> Fig3Data:
     # both methods replay off one shared log stream (single-pass engine)
-    results = runner.replay_many(("hash", "metis"), 2, seed=seed)
-    return Fig3Data(hashing=results["hash"], metis=results["metis"])
+    rs = runner.results_for(("hash", "metis"), (2,), seed=seed)
+    return Fig3Data(hashing=rs.get("hash", 2, seed), metis=rs.get("metis", 2, seed))
 
 
 def render_fig3(data: Fig3Data) -> str:

@@ -42,9 +42,9 @@ def compute_fig4(
     """All cells for one shard-count configuration."""
     cells: List[Fig4Cell] = []
     # one shared pass over the log for every uncached method
-    results = runner.replay_many(methods, k, seed=seed)
+    rs = runner.results_for(methods, (k,), seed=seed)
     for method in methods:
-        result = results[method]
+        result = rs.get(method, k, seed)
         for label, start, end in FIG4_PERIODS:
             sub = result.series.between(start, end)
             pts = [p for p in sub.points if p.interactions > 0]
@@ -52,7 +52,7 @@ def compute_fig4(
                 continue
             cells.append(
                 Fig4Cell(
-                    method=method,
+                    method=str(method),
                     k=k,
                     period=label,
                     edge_cut=summarize([p.dynamic_edge_cut for p in pts]),

@@ -40,23 +40,23 @@ def compute_fig5(
     rows: List[Fig5Row] = []
     log = runner.workload.builder.log
     # the whole (method × k) grid fans out of one shared log stream
-    grid = runner.replay_grid(methods, ks, seed=seed)
+    rs = runner.results_for(methods, ks, seed=seed)
     for method in methods:
         for k in ks:
-            result = grid[(method, k)]
+            result = rs.get(method, k, seed)
             pts = [p for p in result.series.points if p.interactions > 0]
             cut = sum(p.dynamic_edge_cut for p in pts) / len(pts) if pts else 0.0
             bal = sum(p.dynamic_balance for p in pts) / len(pts) if pts else 1.0
             rows.append(
                 Fig5Row(
-                    method=method,
+                    method=str(method),
                     k=k,
                     dynamic_edge_cut=cut,
                     dynamic_balance=bal,
                     normalized_dynamic_balance=normalized_balance(bal, k),
                     total_moves=result.total_moves,
                     cross_shard_tx_ratio=cross_shard_transaction_ratio(
-                        log, result.assignment.as_dict()
+                        log, result.assignment
                     ),
                 )
             )

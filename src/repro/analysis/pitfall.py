@@ -49,6 +49,10 @@ def compute_pitfall(
     # offered load: saturate the system so completed/elapsed = capacity
     rate = 3.0 * k / cfg.service_time
 
+    # all real method assignments come from one declarative grid run
+    # ("random" is this experiment's strawman, not a registry method)
+    rs = runner.results_for([m for m in methods if m != "random"], (k,), seed=seed)
+
     # k = 1 baseline: everything is local
     single = ShardedExecution(1, _constant_assignment(runner, 0), cfg)
     base = single.replay(log, arrival_rate=3.0 / cfg.service_time)
@@ -72,7 +76,7 @@ def compute_pitfall(
                 v: rng.randrange(k) for v in runner.workload.graph.vertices()
             }
         else:
-            assignment = runner.replay(method, k, seed=seed).assignment.as_dict()
+            assignment = dict(rs.get(method, k, seed).assignment)
         ex = ShardedExecution(k, assignment, cfg)
         rep = ex.replay(log, arrival_rate=rate)
         rows.append(

@@ -1,53 +1,73 @@
-"""Shared experiment runner with workload and replay caching.
+"""Back-compat experiment facade over :mod:`repro.experiments`.
 
-Experiments are pure functions of (scale, seed, method, k, window), so
-the runner memoises them; Fig. 4 and Fig. 5 share most replays and the
-benchmark suite reuses the figures' runs across rounds.
+:class:`ExperimentRunner` keeps the call-style API the figures,
+benchmarks and tests grew up with (``replay`` / ``replay_many`` /
+``replay_grid``), but is now a thin memoising facade over the
+declarative pipeline: every request becomes an
+:class:`~repro.experiments.spec.ExperimentSpec` and executes through
+:func:`~repro.experiments.run.run_experiment`, so the runner, the CLI
+and standalone specs share one execution path (single-pass shared
+streaming, optional process-pool fan-out, optional on-disk resume).
 
-Method-comparison requests (:meth:`ExperimentRunner.replay_many` /
-:meth:`~ExperimentRunner.replay_grid`) go through the single-pass
-:class:`~repro.core.multireplay.MultiReplayEngine`: the interaction
-log is streamed and the cumulative graph built exactly once for all
-uncached (method, k) combinations, with results bit-identical to
-independent :meth:`~ExperimentRunner.replay` calls.
+Parameterised replays are first-class now: ``method_kwargs`` become
+part of the :class:`~repro.experiments.spec.MethodSpec` cache key, so
+``replay("tr-metis", 2, cut_threshold=0.25)`` is memoised exactly like
+the plain methods (the old behaviour silently bypassed the cache).
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
-from repro.core.multireplay import MultiReplayEngine
-from repro.core.registry import make_method
-from repro.core.replay import ReplayEngine, ReplayResult
-from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
+from repro.core.replay import ReplayResult
+from repro.ethereum.workload import WorkloadResult, generate_history
+from repro.experiments.results import CellResult, ResultSet
+from repro.experiments.run import run_experiment
+from repro.experiments.spec import (  # re-exported for back-compat
+    SCALES,
+    CellKey,
+    ExperimentSpec,
+    MethodSpec,
+    config_for_scale,
+)
+from repro.experiments.store import ResultStore
 from repro.graph.snapshot import HOUR
 
-#: Named workload scales; values are WorkloadConfig factory names.
-SCALES = ("tiny", "small", "medium", "default")
+__all__ = ["SCALES", "config_for_scale", "ExperimentRunner"]
 
-
-def config_for_scale(scale: str, seed: int) -> WorkloadConfig:
-    if scale == "tiny":
-        return WorkloadConfig.tiny(seed)
-    if scale == "small":
-        return WorkloadConfig.small(seed)
-    if scale == "medium":
-        return WorkloadConfig.medium(seed)
-    if scale == "default":
-        return WorkloadConfig(seed=seed)
-    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+MethodLike = Union[str, MethodSpec]
 
 
 class ExperimentRunner:
     """Memoising facade over workload generation and method replays."""
 
-    def __init__(self, scale: str = "small", seed: int = 42, metric_window_hours: float = 24.0):
+    def __init__(
+        self,
+        scale: str = "small",
+        seed: int = 42,
+        metric_window_hours: float = 24.0,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+    ):
+        """Args:
+            jobs: worker processes for uncached grid cells (1 =
+                in-process single-pass streaming; the default keeps
+                full ReplayResults available to :meth:`replay`).
+            store: optional on-disk :class:`ResultStore` so replays
+                resume across runner instances and processes.
+        """
         self.scale = scale
         self.seed = seed
         self.metric_window = metric_window_hours * HOUR
+        self.jobs = jobs
+        self.store = store
         self._workload: Optional[WorkloadResult] = None
-        self._replays: Dict[Tuple[str, int, int], ReplayResult] = {}
+        self._cells: Dict[CellKey, CellResult] = {}
+        self._replays: Dict[CellKey, ReplayResult] = {}
+
+    @property
+    def window_hours(self) -> float:
+        return self.metric_window / HOUR
 
     @property
     def workload(self) -> WorkloadResult:
@@ -55,58 +75,121 @@ class ExperimentRunner:
             self._workload = generate_history(config_for_scale(self.scale, self.seed))
         return self._workload
 
-    def replay(self, method_name: str, k: int, seed: int = 1, **method_kwargs) -> ReplayResult:
+    # -- declarative surface -------------------------------------------
+
+    def spec(
+        self,
+        methods: Sequence[MethodLike],
+        ks: Sequence[int],
+        seeds: Sequence[int] = (1,),
+    ) -> ExperimentSpec:
+        """An :class:`ExperimentSpec` bound to this runner's workload."""
+        return ExperimentSpec(
+            scale=self.scale,
+            workload_seed=self.seed,
+            methods=tuple(methods),
+            ks=tuple(ks),
+            window_hours=self.window_hours,
+            replay_seeds=tuple(seeds),
+        )
+
+    def run(self, spec: ExperimentSpec) -> ResultSet:
+        """Execute a spec through the runner's memo.
+
+        The spec must match the runner's workload identity (scale,
+        seed, window) — the memoised cells are only valid for it.
+        """
+        own = self.spec(spec.methods, spec.ks, spec.replay_seeds)
+        if spec != own:
+            raise ValueError(
+                f"spec workload {spec.workload_id()!r} does not match this "
+                f"runner's {own.workload_id()!r}; use run_experiment() directly"
+            )
+        missing = [key for key in spec.cells() if key not in self._cells]
+        if missing:
+            rs = run_experiment(
+                spec,
+                jobs=self.jobs,
+                store=self.store,
+                # lazy: a fully-store-resumed run never generates the
+                # workload; the memo still kicks in when it is needed
+                workload=lambda: self.workload,
+                only=missing,
+            )
+            for key in missing:
+                self._cells[key] = rs.cell(key)
+                replay = rs.replay(key)
+                if replay is not None:
+                    self._replays[key] = replay
+        out = ResultSet(spec, {key: self._cells[key] for key in spec.cells()})
+        out._live = {
+            key: self._replays[key] for key in spec.cells() if key in self._replays
+        }
+        return out
+
+    def results_for(
+        self,
+        methods: Sequence[MethodLike],
+        ks: Sequence[int],
+        seed: int = 1,
+    ) -> ResultSet:
+        """Grid results as a :class:`ResultSet` (the figures' entry)."""
+        return self.run(self.spec(methods, ks, (seed,)))
+
+    # -- legacy call-style surface -------------------------------------
+
+    def _cell_key(self, method: MethodLike, k: int, seed: int, **kwargs) -> CellKey:
+        spec = MethodSpec.parse(method)
+        if kwargs:
+            spec = MethodSpec(spec.name, spec.params + tuple(kwargs.items()))
+        return CellKey(method=spec, k=k, seed=seed)
+
+    def replay(
+        self, method_name: MethodLike, k: int, seed: int = 1, **method_kwargs
+    ) -> ReplayResult:
         """Replay the workload through a method (cached).
 
-        ``method_kwargs`` take part in the cache key implicitly by
-        being rejected: parameterised method studies (the ablations)
-        should construct methods and engines directly.
+        ``method_kwargs`` are part of the cache key (via the method's
+        :class:`MethodSpec`), so parameterised replays are memoised
+        like everything else.  Returns the full legacy
+        :class:`ReplayResult`; its ``graph`` is the shared cumulative
+        graph when the cell was computed in-process, else ``None``
+        (cells loaded from a store or computed by worker processes).
         """
-        if method_kwargs:
-            method = make_method(method_name, k, seed=seed, **method_kwargs)
-            return ReplayEngine(
-                self.workload.builder.log, method, metric_window=self.metric_window
-            ).run()
-        key = (method_name.lower(), k, seed)
+        key = self._cell_key(method_name, k, seed, **method_kwargs)
         if key not in self._replays:
-            method = make_method(method_name, k, seed=seed)
-            self._replays[key] = ReplayEngine(
-                self.workload.builder.log, method, metric_window=self.metric_window
-            ).run()
+            self.run(self.spec((key.method,), (k,), (seed,)))
+            if key not in self._replays:
+                # loaded from the store / a worker: rebuild (no graph)
+                self._replays[key] = self._cells[key].to_replay_result()
         return self._replays[key]
 
     def replay_many(
-        self, method_names: Sequence[str], k: int, seed: int = 1
+        self, method_names: Sequence[MethodLike], k: int, seed: int = 1
     ) -> Dict[str, ReplayResult]:
         """Replay several methods at one shard count in a single pass.
 
-        Uncached methods share one :class:`MultiReplayEngine` stream;
-        cached results are reused.  Returns name → result.
+        Uncached methods share one engine stream; returns name → result
+        keyed by the names as given.
         """
-        self.replay_grid(method_names, (k,), seed=seed)
-        return {m: self._replays[(m.lower(), k, seed)] for m in method_names}
+        grid = self.replay_grid(method_names, (k,), seed=seed)
+        return {m: grid[(m, k)] for m in method_names}
 
     def replay_grid(
-        self, method_names: Sequence[str], ks: Sequence[int], seed: int = 1
-    ) -> Dict[Tuple[str, int], ReplayResult]:
+        self, method_names: Sequence[MethodLike], ks: Sequence[int], seed: int = 1
+    ) -> Dict[Tuple[MethodLike, int], ReplayResult]:
         """Replay a (method × shard-count) grid in a single pass.
 
-        All uncached combinations fan out of one shared log stream —
-        methods with different ``k`` coexist in the same pass, so a
-        Fig. 5-style sweep builds the cumulative graph once instead of
-        |methods| × |ks| times.  Returns (name, k) → result.
+        All uncached combinations fan out of one shared log stream (or
+        a process pool when the runner was built with ``jobs > 1``).
+        Returns (name, k) → result, keyed by the names as given.
         """
-        wanted = list(dict.fromkeys((m, k) for m in method_names for k in ks))
-        missing = [
-            (m, k) for m, k in wanted if (m.lower(), k, seed) not in self._replays
-        ]
-        if missing:
-            methods = [make_method(m, k, seed=seed) for m, k in missing]
-            results = MultiReplayEngine(
-                self.workload.builder.log, methods, metric_window=self.metric_window
-            ).run()
-            for (m, k), result in zip(missing, results):
-                self._replays[(m.lower(), k, seed)] = result
-        return {
-            (m, k): self._replays[(m.lower(), k, seed)] for m, k in wanted
-        }
+        self.run(self.spec(tuple(method_names), tuple(ks), (seed,)))
+        out: Dict[Tuple[MethodLike, int], ReplayResult] = {}
+        for name in method_names:
+            for k in ks:
+                key = self._cell_key(name, k, seed)
+                if key not in self._replays:
+                    self._replays[key] = self._cells[key].to_replay_result()
+                out[(name, k)] = self._replays[key]
+        return out

@@ -28,6 +28,13 @@ The log may be a plain ``Sequence[Interaction]`` or a
 :class:`~repro.graph.columnar.ColumnarLog`; with the columnar form,
 window boundaries resolve by bisect and rows materialise lazily, one
 window at a time.
+
+This engine is the execution substrate of the declarative experiment
+API: :func:`repro.experiments.run.run_experiment` plans a (method × k
+× seed) grid, shares one engine pass per worker, and serializes the
+fan-out into a :class:`~repro.experiments.results.ResultSet` — prefer
+that entry point for sweeps (parallelism, on-disk resume); construct
+the engine directly for one-off method studies.
 """
 
 from __future__ import annotations

@@ -1,0 +1,42 @@
+"""repro.experiments — the declarative experiment API.
+
+Describe a comparison grid as data (:class:`ExperimentSpec` over
+:class:`MethodSpec` method identities), execute it with
+:func:`run_experiment` (single-pass shared streaming, optional
+process-pool fan-out, on-disk resume), and consume the serializable
+:class:`ResultSet`.
+
+    from repro.experiments import ExperimentSpec, ResultStore, run_experiment
+
+    spec = ExperimentSpec(
+        scale="small",
+        methods=("hash", "metis", "tr-metis?warm=true"),
+        ks=(2, 4, 8),
+    )
+    rs = run_experiment(spec, jobs=4, store=ResultStore("results/"))
+    print(rs.get("metis", k=8).mean("dynamic_edge_cut"))
+    open("sweep.json", "w").write(rs.dumps())
+"""
+
+from repro.experiments.results import CellResult, ResultSet
+from repro.experiments.run import run_experiment
+from repro.experiments.spec import (
+    SCALES,
+    CellKey,
+    ExperimentSpec,
+    MethodSpec,
+    config_for_scale,
+)
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "CellKey",
+    "CellResult",
+    "ExperimentSpec",
+    "MethodSpec",
+    "ResultSet",
+    "ResultStore",
+    "SCALES",
+    "config_for_scale",
+    "run_experiment",
+]

@@ -1,0 +1,233 @@
+"""Serializable experiment results.
+
+A :class:`CellResult` is the durable projection of one replay: the
+metric series, the repartition events, the final vertex → shard map and
+the per-shard activity weights — everything the figures, the sharded
+simulator and the paper's tables consume, without the cumulative graph
+(which is shared, large, and reproducible from the workload).
+
+A :class:`ResultSet` maps a grid of
+:class:`~repro.experiments.spec.CellKey` cells to their results, knows
+the :class:`~repro.experiments.spec.ExperimentSpec` that produced it,
+and round-trips through JSON: ``ResultSet.loads(rs.dumps()) == rs``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.assignment import ShardAssignment
+from repro.core.base import RepartitionEvent
+from repro.core.replay import ReplayResult
+from repro.experiments.spec import CellKey, ExperimentSpec, MethodSpec
+from repro.metrics.series import MetricPoint, MetricSeries
+
+
+@dataclasses.dataclass
+class CellResult:
+    """One (method, k, seed) replay, in serializable form."""
+
+    key: CellKey
+    series: MetricSeries
+    events: List[RepartitionEvent]
+    assignment: Dict[int, int]
+    shard_weights: Tuple[int, ...]
+
+    # -- ReplayResult-compatible read surface --------------------------
+
+    @property
+    def method(self) -> str:
+        return self.key.method.label
+
+    @property
+    def k(self) -> int:
+        return self.key.k
+
+    @property
+    def seed(self) -> int:
+        return self.key.seed
+
+    @property
+    def total_moves(self) -> int:
+        return sum(e.moves for e in self.events)
+
+    @property
+    def num_repartitions(self) -> int:
+        return sum(1 for e in self.events if e.moves or e.reassigned)
+
+    def mean(self, column: str) -> float:
+        """Mean of a metric column over active (non-empty) windows."""
+        pts = [p for p in self.series.points if p.interactions > 0]
+        if not pts:
+            return 0.0
+        return sum(getattr(p, column) for p in pts) / len(pts)
+
+    def to_assignment(self) -> ShardAssignment:
+        """Rebuild a live :class:`ShardAssignment` (counts re-derived)."""
+        a = ShardAssignment(self.key.k)
+        for v, s in self.assignment.items():
+            a.assign(v, s)
+        a._weights = list(self.shard_weights)
+        return a
+
+    # -- construction / serialization ----------------------------------
+
+    @classmethod
+    def from_replay(cls, key: CellKey, replay: ReplayResult) -> "CellResult":
+        return cls(
+            key=key,
+            series=replay.series,
+            events=list(replay.events),
+            assignment=replay.assignment.as_dict(),
+            shard_weights=tuple(replay.assignment.weights),
+        )
+
+    def to_replay_result(self, graph=None) -> ReplayResult:
+        """Back-compat bridge to the legacy result type.
+
+        ``graph`` is ``None`` unless the caller still holds the shared
+        cumulative graph (cells loaded from disk or computed in a
+        worker process do not).
+        """
+        return ReplayResult(
+            method=self.key.method.name,
+            k=self.key.k,
+            series=self.series,
+            assignment=self.to_assignment(),
+            events=list(self.events),
+            graph=graph,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key.to_dict(),
+            "series": {
+                "method": self.series.method,
+                "k": self.series.k,
+                "points": [dataclasses.asdict(p) for p in self.series.points],
+            },
+            "events": [dataclasses.asdict(e) for e in self.events],
+            # JSON object keys are strings; store as pairs to keep ints
+            "assignment": [[v, s] for v, s in sorted(self.assignment.items())],
+            "shard_weights": list(self.shard_weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
+        series = MetricSeries(
+            method=data["series"]["method"], k=int(data["series"]["k"])
+        )
+        for p in data["series"]["points"]:
+            series.points.append(MetricPoint(**p))
+        return cls(
+            key=CellKey.from_dict(data["key"]),
+            series=series,
+            events=[RepartitionEvent(**e) for e in data["events"]],
+            assignment={int(v): int(s) for v, s in data["assignment"]},
+            shard_weights=tuple(int(w) for w in data["shard_weights"]),
+        )
+
+
+MethodArg = Union[str, MethodSpec]
+
+
+class ResultSet:
+    """Results of an experiment, keyed by (method spec, k, seed).
+
+    Iteration yields :class:`CellResult` objects in the spec's grid
+    order.  Equality compares the spec and every cell (the in-memory
+    ``ReplayResult`` handles attached by a same-process run are
+    excluded — they do not survive serialization by design).
+    """
+
+    def __init__(self, spec: ExperimentSpec, cells: Dict[CellKey, CellResult]):
+        self.spec = spec
+        order = [k for k in spec.cells() if k in cells]
+        # preserve any extra cells (merged sets) after the spec's grid
+        order += [k for k in cells if k not in set(order)]
+        self._cells: Dict[CellKey, CellResult] = {k: cells[k] for k in order}
+        #: full ReplayResults (with the shared graph) for cells computed
+        #: in this process; absent for loaded/worker-computed cells.
+        self._live: Dict[CellKey, ReplayResult] = {}
+
+    # -- mapping surface -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self._cells.values())
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key in self._cells
+
+    def keys(self) -> Tuple[CellKey, ...]:
+        return tuple(self._cells)
+
+    def items(self):
+        return self._cells.items()
+
+    def _key(self, method: MethodArg, k: int, seed: int) -> CellKey:
+        return CellKey(method=MethodSpec.parse(method), k=k, seed=seed)
+
+    def get(self, method: MethodArg, k: int, seed: int = 1) -> CellResult:
+        """Cell lookup; ``method`` may be a spec or a method string."""
+        key = self._key(method, k, seed)
+        try:
+            return self._cells[key]
+        except KeyError:
+            raise KeyError(
+                f"no result for {key.label}; have: "
+                f"{', '.join(c.label for c in self._cells) or '(empty)'}"
+            ) from None
+
+    def cell(self, key: CellKey) -> CellResult:
+        return self._cells[key]
+
+    def replay(self, key: CellKey) -> Optional[ReplayResult]:
+        """The full in-process ReplayResult for a cell, if available."""
+        return self._live.get(key)
+
+    # -- equality / serialization --------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.spec == other.spec and self._cells == other._cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ResultSet({self.spec.workload_id()}, "
+            f"{len(self._cells)}/{len(self.spec.cells())} cells)"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "cells": [c.to_dict() for c in self._cells.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResultSet":
+        cells = [CellResult.from_dict(c) for c in data["cells"]]
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            cells={c.key: c for c in cells},
+        )
+
+    def dumps(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def loads(cls, text: str) -> "ResultSet":
+        return cls.from_dict(json.loads(text))
+
+    def merged_with(self, other: "ResultSet") -> "ResultSet":
+        """New set with ``other``'s cells added (other wins on clash)."""
+        merged = dict(self._cells)
+        merged.update(other._cells)
+        rs = ResultSet(self.spec, merged)
+        rs._live = {**self._live, **other._live}
+        return rs

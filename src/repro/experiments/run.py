@@ -1,0 +1,139 @@
+"""``run_experiment``: plan the grid, resume, fan out, collect.
+
+The one entry point of the declarative experiment API::
+
+    spec = ExperimentSpec(scale="small", methods=PAPER_ORDER, ks=(2, 4, 8))
+    rs = run_experiment(spec, jobs=4, store=ResultStore("results/"))
+    rs.get("metis", k=8).mean("dynamic_edge_cut")
+
+Execution plan:
+
+1. enumerate the grid cells (``spec.cells()``, optionally restricted
+   with ``only=``);
+2. load completed cells from the ``store`` — a resumed sweep
+   re-executes *zero* finished cells;
+3. replay the remaining cells: one shared
+   :class:`~repro.core.multireplay.MultiReplayEngine` pass when
+   ``jobs<=1``, else cost-balanced chunks over a process pool
+   (:mod:`repro.experiments.parallel`), each chunk sharing one stream;
+4. persist fresh cells to the store and return a
+   :class:`~repro.experiments.results.ResultSet`.
+
+Results are bit-identical to independent legacy
+:class:`~repro.core.replay.ReplayEngine` runs for any ``jobs`` — the
+engine's fan-out is the unit of equivalence, asserted in
+``tests/experiments/test_run.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Collection, Dict, Optional, Union
+
+from repro.core.replay import ReplayResult
+from repro.ethereum.workload import WorkloadResult, generate_history
+from repro.experiments.parallel import partition_cells, replay_chunk, run_chunks_parallel
+from repro.experiments.results import CellResult, ResultSet
+from repro.experiments.spec import CellKey, ExperimentSpec
+from repro.experiments.store import ResultStore
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    workload: Union[WorkloadResult, Callable[[], WorkloadResult], None] = None,
+    only: Optional[Collection[CellKey]] = None,
+    progress: Optional[Callable[[CellKey, str], None]] = None,
+) -> ResultSet:
+    """Run (or resume) an experiment; returns its :class:`ResultSet`.
+
+    Args:
+        spec: the declarative grid.
+        jobs: worker processes; ``1`` replays every cell in one shared
+            single-pass stream, ``N>1`` fans cost-balanced chunks out
+            over a process pool (one shared stream per worker).
+        store: optional on-disk store; completed cells are loaded
+            instead of recomputed and fresh cells are persisted.
+        workload: pre-generated workload matching the spec's scale and
+            seed (e.g. a runner's memoised one), or a zero-arg callable
+            producing it; generated/called on demand only when at
+            least one cell must actually run (a fully-resumed sweep
+            never pays for workload generation).  A workload whose
+            config does not match the spec is rejected — its results
+            would be silently persisted under the wrong store identity.
+        only: restrict execution to this subset of ``spec.cells()``
+            (callers with their own caches pass just their misses).
+        progress: callback ``(cell, outcome)`` with outcome one of
+            ``"loaded"`` / ``"computed"``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cells = spec.cells()
+    if only is not None:
+        wanted = set(only)
+        unknown = wanted - set(cells)
+        if unknown:
+            raise ValueError(
+                f"cells not in the spec's grid: "
+                f"{', '.join(sorted(k.label for k in unknown))}"
+            )
+        cells = tuple(k for k in cells if k in wanted)
+
+    done: Dict[CellKey, CellResult] = {}
+    if store is not None:
+        done = store.load_known(spec, cells)
+        if progress is not None:
+            for key in cells:
+                if key in done:
+                    progress(key, "loaded")
+    pending = [k for k in cells if k not in done]
+
+    live: Dict[CellKey, ReplayResult] = {}
+    if pending:
+        if callable(workload):
+            workload = workload()
+        if workload is None:
+            workload = generate_history(spec.workload_config())
+        elif workload.config != spec.workload_config():
+            raise ValueError(
+                f"workload config {workload.config} does not match the "
+                f"spec's {spec.workload_config()} ({spec.workload_id()}); "
+                "results would be stored under the wrong identity"
+            )
+        log = workload.builder.log
+        window = spec.window_seconds
+        def collect(cell: CellResult) -> None:
+            done[cell.key] = cell
+            if store is not None:
+                store.save(spec, cell)
+            if progress is not None:
+                progress(cell.key, "computed")
+
+        if jobs == 1 or len(pending) == 1:
+            # one shared stream for the whole remaining grid; keep the
+            # full ReplayResults (with the shared cumulative graph) for
+            # same-process callers like the back-compat runner facade
+            from repro.core.multireplay import MultiReplayEngine
+
+            methods = [key.method.make(key.k, seed=key.seed) for key in pending]
+            replays = MultiReplayEngine(log, methods, metric_window=window).run()
+            for key, replay in zip(pending, replays):
+                live[key] = replay
+                collect(CellResult.from_replay(key, replay))
+        else:
+            # cells persist chunk-by-chunk as workers finish, so an
+            # interrupted parallel sweep keeps every completed chunk
+            chunks = partition_cells(pending, jobs)
+            run_chunks_parallel(
+                log, window, chunks, jobs,
+                on_chunk=lambda cells: [collect(c) for c in cells],
+            )
+
+    rs = ResultSet(spec, done)
+    rs._live = live
+    return rs
+
+
+# re-exported convenience: one-call sequential chunk replay (used by
+# benchmarks that want engine-level timing without pool overhead)
+__all__ = ["run_experiment", "replay_chunk"]

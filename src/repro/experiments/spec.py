@@ -1,0 +1,310 @@
+"""Declarative experiment specifications.
+
+The experiment API is redesigned around *data* instead of call styles:
+
+* :class:`MethodSpec` — a frozen (name, params) identity for a
+  partitioning method.  Parameterised variants (warm METIS, Fennel
+  configs, TR-METIS thresholds) are first-class: a spec parses from a
+  compact string like ``"tr-metis?warm=true&cut_threshold=0.3"``, is
+  validated against the registry up front, and its canonical
+  :attr:`~MethodSpec.label` is a stable cache/store key.
+* :class:`ExperimentSpec` — one whole comparison grid: workload scale
+  and seed, method specs, shard counts, metric window and replay
+  seeds.  :meth:`ExperimentSpec.cells` enumerates the grid as
+  :class:`CellKey` objects, the unit of execution, caching and
+  resumption used by :func:`repro.experiments.run.run_experiment`.
+
+Both specs round-trip through JSON (``from_dict(to_dict(spec)) ==
+spec``), so sweeps can be described in files and results can carry
+their provenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, Sequence, Tuple, Union
+
+from repro.core.registry import (
+    available_methods,
+    method_accepts_any_params,
+    method_params,
+)
+from repro.ethereum.workload import WorkloadConfig
+from repro.graph.snapshot import HOUR
+
+#: Named workload scales; values are WorkloadConfig factory names.
+SCALES = ("tiny", "small", "medium", "default")
+
+#: Parameter value types a method spec may carry.
+ParamValue = Union[bool, int, float, str]
+
+
+def config_for_scale(scale: str, seed: int) -> WorkloadConfig:
+    """Workload config for a named scale (the CLI/runner vocabulary)."""
+    if scale == "tiny":
+        return WorkloadConfig.tiny(seed)
+    if scale == "small":
+        return WorkloadConfig.small(seed)
+    if scale == "medium":
+        return WorkloadConfig.medium(seed)
+    if scale == "default":
+        return WorkloadConfig(seed=seed)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def _coerce_value(text: str) -> ParamValue:
+    """Parse a query-string value into the narrowest matching type."""
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _value_to_str(value: ParamValue) -> str:
+    if isinstance(value, bool):         # before int: bool is an int subclass
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodSpec:
+    """A partitioning method plus its parameters, as a value.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so specs
+    hash and compare structurally; :attr:`label` is the canonical
+    string form (``"tr-metis?cut_threshold=0.3&warm=true"``).
+    """
+
+    name: str
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        name = self.name.lower()
+        if name not in available_methods():
+            raise ValueError(
+                f"unknown method {self.name!r}; available: "
+                f"{', '.join(available_methods())}"
+            )
+        keys = [str(k) for k, _ in self.params]
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        if dupes:
+            raise ValueError(
+                f"duplicate parameter(s) for method {name!r}: "
+                f"{', '.join(dupes)}"
+            )
+        params = tuple(sorted((str(k), v) for k, v in self.params))
+        accepted = method_params(name)
+        accepts_any = method_accepts_any_params(name)
+        for key, value in params:
+            if key in ("k", "seed"):
+                raise ValueError(
+                    f"{key!r} is an experiment-level knob (set it on the "
+                    f"grid), not a parameter of method {name!r}"
+                )
+            if not accepts_any and key not in accepted:
+                raise ValueError(
+                    f"method {name!r} got unknown parameter {key!r}; "
+                    f"accepted: {', '.join(accepted) or '(none)'}"
+                )
+            if isinstance(value, str) and any(c in value for c in "?&="):
+                raise ValueError(
+                    f"parameter {key}={value!r} contains a reserved "
+                    "character ('?', '&' or '=')"
+                )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", params)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: Union[str, "MethodSpec"]) -> "MethodSpec":
+        """Parse ``"name"`` or ``"name?p1=v1&p2=v2"`` into a spec.
+
+        Values coerce to the narrowest of bool ("true"/"false"), int,
+        float, str.  Already-parsed specs pass through unchanged.
+        """
+        if isinstance(text, MethodSpec):
+            return text
+        name, _, query = text.partition("?")
+        params = []
+        if query:
+            for pair in query.split("&"):
+                key, sep, raw = pair.partition("=")
+                if not key or not sep:
+                    raise ValueError(
+                        f"malformed method parameter {pair!r} in {text!r} "
+                        "(expected name=value)"
+                    )
+                params.append((key, _coerce_value(raw)))
+        return cls(name=name, params=tuple(params))
+
+    @classmethod
+    def of(cls, name: str, **params: ParamValue) -> "MethodSpec":
+        """Keyword-style constructor: ``MethodSpec.of("kl", rounds=3)``."""
+        return cls(name=name, params=tuple(params.items()))
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Canonical string form; parseable and cache-key stable."""
+        if not self.params:
+            return self.name
+        query = "&".join(f"{k}={_value_to_str(v)}" for k, v in self.params)
+        return f"{self.name}?{query}"
+
+    # -- use -----------------------------------------------------------
+
+    def make(self, k: int, seed: int = 0):
+        """Instantiate the method for one grid cell."""
+        from repro.core.registry import make_method
+
+        return make_method(self.name, k, seed=seed, **dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": [list(p) for p in self.params]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MethodSpec":
+        return cls(
+            name=data["name"],
+            params=tuple((k, v) for k, v in data.get("params", ())),
+        )
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclasses.dataclass(frozen=True)
+class CellKey:
+    """One grid cell: (method spec, shard count, replay seed)."""
+
+    method: MethodSpec
+    k: int
+    seed: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"{self.method.label} k={self.k} seed={self.seed}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"method": self.method.to_dict(), "k": self.k, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellKey":
+        return cls(
+            method=MethodSpec.from_dict(data["method"]),
+            k=int(data["k"]),
+            seed=int(data["seed"]),
+        )
+
+
+MethodLike = Union[str, MethodSpec]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """A whole comparison grid, declaratively.
+
+    Attributes:
+        scale: named workload scale (see :data:`SCALES`).
+        workload_seed: seed of the synthetic history generator.
+        methods: method specs (strings are parsed; order is the
+            figure/legend order).
+        ks: shard counts to sweep.
+        window_hours: metric window width in hours (paper: 4).
+        replay_seeds: per-replay method seeds; the grid is
+            methods × ks × replay_seeds.
+    """
+
+    scale: str = "small"
+    workload_seed: int = 42
+    methods: Tuple[MethodSpec, ...] = ("hash", "metis")  # type: ignore[assignment]
+    ks: Tuple[int, ...] = (2,)
+    window_hours: float = 24.0
+    replay_seeds: Tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALES:
+            raise ValueError(f"unknown scale {self.scale!r}; choose from {SCALES}")
+        methods = tuple(MethodSpec.parse(m) for m in _as_iterable(self.methods))
+        if not methods:
+            raise ValueError("an experiment needs at least one method")
+        ks = tuple(int(k) for k in _as_iterable(self.ks))
+        if not ks or any(k < 1 for k in ks):
+            raise ValueError(f"shard counts must be >= 1, got {self.ks!r}")
+        seeds = tuple(int(s) for s in _as_iterable(self.replay_seeds))
+        if not seeds:
+            raise ValueError("an experiment needs at least one replay seed")
+        if self.window_hours <= 0:
+            raise ValueError("window_hours must be positive")
+        object.__setattr__(self, "methods", methods)
+        object.__setattr__(self, "ks", ks)
+        object.__setattr__(self, "replay_seeds", seeds)
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def window_seconds(self) -> float:
+        return self.window_hours * HOUR
+
+    def workload_config(self) -> WorkloadConfig:
+        return config_for_scale(self.scale, self.workload_seed)
+
+    def workload_id(self) -> str:
+        """Identity of the replayed workload + windowing (store keying)."""
+        return f"{self.scale}-w{self.workload_seed}-win{self.window_hours:g}h"
+
+    def cells(self) -> Tuple[CellKey, ...]:
+        """The grid as (method × k × seed) cells, deduplicated, in
+        deterministic methods-major order."""
+        seen = dict.fromkeys(
+            CellKey(method=m, k=k, seed=s)
+            for m in self.methods
+            for k in self.ks
+            for s in self.replay_seeds
+        )
+        return tuple(seen)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "workload_seed": self.workload_seed,
+            "methods": [m.label for m in self.methods],
+            "ks": list(self.ks),
+            "window_hours": self.window_hours,
+            "replay_seeds": list(self.replay_seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        return cls(
+            scale=data["scale"],
+            workload_seed=int(data["workload_seed"]),
+            methods=tuple(data["methods"]),
+            ks=tuple(data["ks"]),
+            window_hours=float(data["window_hours"]),
+            replay_seeds=tuple(data.get("replay_seeds", (1,))),
+        )
+
+
+def _as_iterable(value) -> Iterable:
+    if isinstance(value, (str, MethodSpec)):
+        return (value,)
+    if isinstance(value, (int, float)):
+        return (value,)
+    return value

@@ -28,10 +28,13 @@ class TestRunner:
         b = small_runner.replay("hash", 2, seed=1)
         assert a is b
 
-    def test_replay_kwargs_bypass_cache(self, small_runner):
+    def test_replay_kwargs_key_the_cache(self, small_runner):
+        """Parameterised replays are distinct, first-class cache
+        entries (MethodSpec keys) — not cache bypasses."""
         a = small_runner.replay("hash", 2, seed=1)
         b = small_runner.replay("hash", 2, seed=1, salt=3)
         assert a is not b
+        assert small_runner.replay("hash", 2, seed=1, salt=3) is b
 
 
 class TestFig1:

@@ -54,3 +54,43 @@ class TestCLI:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig1", "--scale", "huge"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_list_methods(self, capsys):
+        assert main(["--list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "tr-metis" in out
+        assert "cut_threshold" in out       # parameters are listed
+        assert "salt" in out
+
+    def test_sweep_writes_resultset(self, capsys, tmp_path):
+        from repro.experiments import ResultSet
+
+        out_file = tmp_path / "rs.json"
+        assert main([
+            "sweep", "--scale", "tiny",
+            "--methods", "hash,fennel?gamma=2.0",
+            "--grid", "2,4",
+            "--jobs", "2",
+            "--out", str(out_file),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "sweep: 4 cells" in printed
+        assert "fennel?gamma=2.0" in printed
+        rs = ResultSet.loads(out_file.read_text(encoding="utf-8"))
+        assert len(rs) == 4
+        assert rs.get("fennel?gamma=2.0", 4).total_moves == 0
+
+    def test_sweep_resumes_from_store(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = ["sweep", "--scale", "tiny", "--methods", "hash",
+                "--grid", "2", "--store", store_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        # second invocation loads from the store (separate process in
+        # real use; here: a fresh runner with an empty memo)
+        assert main(args) == 0
+        assert "sweep: 1 cells" in capsys.readouterr().out

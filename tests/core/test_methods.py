@@ -86,6 +86,35 @@ class TestRegistry:
         m = make_method("tr-metis", 2, cut_threshold=0.9)
         assert m.cut_threshold == 0.9
 
+    def test_unknown_kwargs_rejected_naming_method_and_params(self):
+        with pytest.raises(ValueError) as exc:
+            make_method("tr-metis", 2, cut_treshold=0.9)  # typo'd name
+        msg = str(exc.value)
+        assert "tr-metis" in msg and "cut_treshold" in msg
+        assert "cut_threshold" in msg and "accepted" in msg
+
+    def test_method_params_introspection(self):
+        from repro.core.registry import method_params
+
+        assert "salt" in method_params("hash")
+        assert "warm" in method_params("metis")
+        # k and seed are experiment-level, never method parameters
+        for name in PAPER_ORDER:
+            params = method_params(name)
+            assert "k" not in params and "seed" not in params
+
+    def test_register_method_roundtrip(self):
+        from repro.core.registry import _FACTORIES, register_method
+
+        class Custom(HashPartitioner):
+            name = "custom-hash"
+
+        register_method("custom-hash", Custom)
+        try:
+            assert isinstance(make_method("custom-hash", 2, salt=1), Custom)
+        finally:
+            _FACTORIES.pop("custom-hash", None)
+
     def test_describe(self):
         assert "hash" in make_method("hash", 4, seed=3).describe()
 

@@ -1,0 +1,135 @@
+"""MethodSpec / ExperimentSpec: parsing, identity, validation, JSON."""
+
+import pytest
+
+from repro.experiments.spec import CellKey, ExperimentSpec, MethodSpec
+
+
+class TestMethodSpec:
+    def test_parse_plain_name(self):
+        m = MethodSpec.parse("metis")
+        assert m.name == "metis"
+        assert m.params == ()
+        assert m.label == "metis"
+
+    def test_parse_params_coerce_types(self):
+        m = MethodSpec.parse("tr-metis?warm=true&cut_threshold=0.3&ntrials=2")
+        params = dict(m.params)
+        assert params["warm"] is True
+        assert params["cut_threshold"] == 0.3
+        assert params["ntrials"] == 2
+
+    def test_params_sorted_canonically(self):
+        a = MethodSpec.parse("kl?slack=0.2&rounds=3")
+        b = MethodSpec.parse("kl?rounds=3&slack=0.2")
+        assert a == b
+        assert a.label == b.label == "kl?rounds=3&slack=0.2"
+        assert hash(a) == hash(b)
+
+    def test_label_round_trips(self):
+        for text in (
+            "hash",
+            "hash?salt=7",
+            "fennel?gamma=1.5&power=2.0",
+            "tr-metis?balance_threshold=0.45&warm=false",
+        ):
+            m = MethodSpec.parse(text)
+            assert MethodSpec.parse(m.label) == m
+
+    def test_dict_round_trips(self):
+        m = MethodSpec.parse("metis?ubfactor=1.1&warm=true")
+        assert MethodSpec.from_dict(m.to_dict()) == m
+
+    def test_of_keyword_constructor(self):
+        assert MethodSpec.of("kl", rounds=3) == MethodSpec.parse("kl?rounds=3")
+
+    def test_name_case_insensitive(self):
+        assert MethodSpec.parse("METIS") == MethodSpec.parse("metis")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            MethodSpec.parse("quantum")
+
+    def test_unknown_param_rejected_naming_method(self):
+        with pytest.raises(ValueError, match="tr-metis.*bogus.*accepted"):
+            MethodSpec.parse("tr-metis?bogus=1")
+
+    def test_reserved_params_rejected(self):
+        with pytest.raises(ValueError, match="experiment-level"):
+            MethodSpec.parse("metis?seed=3")
+        with pytest.raises(ValueError, match="experiment-level"):
+            MethodSpec.parse("metis?k=4")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            MethodSpec.parse("metis?warm")
+
+    def test_duplicate_params_rejected(self):
+        # identical duplicates would fork the cache/store identity...
+        with pytest.raises(ValueError, match="duplicate parameter"):
+            MethodSpec.parse("tr-metis?cut_threshold=0.3&cut_threshold=0.3")
+        # ...and heterogeneous ones must not crash sorted() with TypeError
+        with pytest.raises(ValueError, match="duplicate parameter"):
+            MethodSpec.parse("hash?salt=1&salt=x")
+
+    def test_make_instantiates_with_params(self):
+        from repro.core.trmetis import TRMetisPartitioner
+
+        m = MethodSpec.parse("tr-metis?cut_threshold=0.3")
+        method = m.make(4, seed=9)
+        assert isinstance(method, TRMetisPartitioner)
+        assert method.k == 4 and method.seed == 9
+        assert method.cut_threshold == 0.3
+
+    def test_aliases_are_distinct_specs_same_factory(self):
+        p = MethodSpec.parse("p-metis")
+        r = MethodSpec.parse("r-metis")
+        assert p != r
+        assert type(p.make(2)) is type(r.make(2))
+
+
+class TestExperimentSpec:
+    def test_strings_parse_and_grid_enumerates(self):
+        spec = ExperimentSpec(
+            scale="tiny", methods=("hash", "metis?warm=true"), ks=(2, 4),
+            replay_seeds=(1, 2),
+        )
+        assert all(isinstance(m, MethodSpec) for m in spec.methods)
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2
+        assert cells[0] == CellKey(MethodSpec.parse("hash"), 2, 1)
+
+    def test_cells_deduplicate(self):
+        spec = ExperimentSpec(scale="tiny", methods=("hash", "HASH"), ks=(2, 2))
+        assert len(spec.cells()) == 1
+
+    def test_dict_round_trips(self):
+        spec = ExperimentSpec(
+            scale="small", workload_seed=7,
+            methods=("hash", "tr-metis?warm=true"), ks=(2, 8),
+            window_hours=4.0, replay_seeds=(3,),
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            ExperimentSpec(scale="galactic")
+        with pytest.raises(ValueError, match="at least one method"):
+            ExperimentSpec(scale="tiny", methods=())
+        with pytest.raises(ValueError, match=">= 1"):
+            ExperimentSpec(scale="tiny", ks=(0,))
+        with pytest.raises(ValueError, match="window_hours"):
+            ExperimentSpec(scale="tiny", window_hours=0)
+        with pytest.raises(ValueError, match="replay seed"):
+            ExperimentSpec(scale="tiny", replay_seeds=())
+
+    def test_workload_id_distinguishes_windows(self):
+        a = ExperimentSpec(scale="tiny", window_hours=4.0)
+        b = ExperimentSpec(scale="tiny", window_hours=24.0)
+        assert a.workload_id() != b.workload_id()
+
+    def test_scalar_convenience(self):
+        spec = ExperimentSpec(scale="tiny", methods="hash", ks=2, replay_seeds=5)
+        assert spec.methods == (MethodSpec.parse("hash"),)
+        assert spec.ks == (2,)
+        assert spec.replay_seeds == (5,)

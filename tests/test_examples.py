@@ -27,7 +27,7 @@ def load_example(path: pathlib.Path):
 def test_examples_present():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "attack_replay", "sharding_study",
-            "custom_partitioner", "trace_analysis"} <= names
+            "custom_partitioner", "trace_analysis", "experiment_sweep"} <= names
 
 
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
@@ -39,13 +39,8 @@ def test_example_compiles_and_has_main(path):
 
 def test_quickstart_runs_end_to_end(capsys, monkeypatch):
     """Run the quickstart against a tiny workload (patch the scale)."""
-    from repro.ethereum.workload import WorkloadConfig
-
     module = load_example(EXAMPLES_DIR / "quickstart.py")
-    monkeypatch.setattr(
-        module.WorkloadConfig, "small",
-        classmethod(lambda cls, seed=42: WorkloadConfig.tiny(seed)),
-    )
+    monkeypatch.setattr(module, "SCALE", "tiny")
     module.main()
     out = capsys.readouterr().out
     assert "hash" in out and "metis" in out
