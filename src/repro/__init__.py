@@ -42,17 +42,21 @@ from repro.core.replay import ReplayEngine, ReplayResult, replay_method
 from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
 from repro.experiments import (
     ExperimentSpec,
+    LogSource,
     MethodSpec,
     ResultSet,
     ResultStore,
+    SyntheticSource,
+    TraceSource,
     run_experiment,
 )
 from repro.graph.builder import GraphBuilder, Interaction
 from repro.graph.columnar import ColumnarLog
+from repro.graph.io import load_columnar, load_trace_log, write_columnar
 from repro.graph.digraph import VertexKind, WeightedDiGraph
 from repro.metis import part_graph
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "WorkloadConfig",
@@ -65,7 +69,13 @@ __all__ = [
     "MethodSpec",
     "ResultSet",
     "ResultStore",
+    "LogSource",
+    "SyntheticSource",
+    "TraceSource",
     "run_experiment",
+    "load_columnar",
+    "load_trace_log",
+    "write_columnar",
     "ReplayEngine",
     "ReplayResult",
     "replay_method",

@@ -46,6 +46,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", default="small", choices=SCALES,
                         help="workload scale (default: small)")
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument("--source", default=None, metavar="TRACE",
+                        help="replay a trace file (text v1 or binary "
+                        "rctrace v2) instead of the synthetic workload; "
+                        "binary traces mmap per worker (see repro-trace "
+                        "export --format binary)")
     parser.add_argument("--k", type=int, default=None,
                         help="shard count override (fig4/pitfall)")
     parser.add_argument("--window-hours", type=float, default=24.0,
@@ -74,12 +79,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.error("a command is required (or use --list-methods)")
 
+    if args.source and args.command in ("fig1", "fig2", "all"):
+        parser.error(
+            f"{args.command} needs the synthetic substrate (chain/state); "
+            "--source only applies to replay-driven commands "
+            "(sweep, fig3, fig4, fig5, pitfall)"
+        )
     runner = ExperimentRunner(
         scale=args.scale,
         seed=args.seed,
         metric_window_hours=args.window_hours,
         jobs=args.jobs,
         store=ResultStore(args.store) if args.store else None,
+        source=args.source,
     )
     start = time.time()
     if args.command == "sweep":
@@ -89,7 +101,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in wanted:
             _run_one(name, runner, args)
             print()
-    print(f"[done in {time.time() - start:.1f}s, scale={args.scale}, seed={args.seed}]")
+    origin = (
+        f"source={args.source}" if args.source
+        else f"scale={args.scale}, seed={args.seed}"
+    )
+    print(f"[done in {time.time() - start:.1f}s, {origin}]")
     return 0
 
 

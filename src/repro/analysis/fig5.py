@@ -38,7 +38,7 @@ def compute_fig5(
     seed: int = 1,
 ) -> List[Fig5Row]:
     rows: List[Fig5Row] = []
-    log = runner.workload.builder.log
+    log = runner.log   # synthetic or trace-backed; same replay surface
     # the whole (method × k) grid fans out of one shared log stream
     rs = runner.results_for(methods, ks, seed=seed)
     for method in methods:

@@ -42,7 +42,7 @@ def compute_pitfall(
     """Throughput table for each method's final assignment at shard
     count ``k``, normalised to the single-shard baseline."""
     cfg = config or ShardedExecutionConfig()
-    log = runner.workload.builder.log
+    log = runner.log   # synthetic or trace-backed; same replay surface
     if len(log) > max_interactions:
         log = log[-max_interactions:]
 
@@ -73,7 +73,7 @@ def compute_pitfall(
         if method == "random":
             rng = random.Random(seed)
             assignment = {
-                v: rng.randrange(k) for v in runner.workload.graph.vertices()
+                v: rng.randrange(k) for v in _vertex_universe(runner)
             }
         else:
             assignment = dict(rs.get(method, k, seed).assignment)
@@ -93,8 +93,20 @@ def compute_pitfall(
     return rows
 
 
+def _vertex_universe(runner: ExperimentRunner) -> List[int]:
+    """Every vertex id of the replayed history.
+
+    Synthetic runners read the workload graph (first-insertion order —
+    unchanged, so seeded random assignments stay reproducible);
+    trace-backed runners read the log's interned vertex table.
+    """
+    if runner.source is None:
+        return list(runner.workload.graph.vertices())
+    return list(runner.log.vertex_ids())
+
+
 def _constant_assignment(runner: ExperimentRunner, shard: int) -> Dict[int, int]:
-    return {v: shard for v in runner.workload.graph.vertices()}
+    return {v: shard for v in _vertex_universe(runner)}
 
 
 def render_pitfall(rows: List[PitfallRow]) -> str:

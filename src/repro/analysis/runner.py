@@ -23,6 +23,7 @@ from repro.core.replay import ReplayResult
 from repro.ethereum.workload import WorkloadResult, generate_history
 from repro.experiments.results import CellResult, ResultSet
 from repro.experiments.run import run_experiment
+from repro.experiments.source import SourceLike, TraceSource, as_log_source
 from repro.experiments.spec import (  # re-exported for back-compat
     SCALES,
     CellKey,
@@ -48,6 +49,7 @@ class ExperimentRunner:
         metric_window_hours: float = 24.0,
         jobs: int = 1,
         store: Optional[ResultStore] = None,
+        source: Optional[SourceLike] = None,
     ):
         """Args:
             jobs: worker processes for uncached grid cells (1 =
@@ -55,13 +57,30 @@ class ExperimentRunner:
                 full ReplayResults available to :meth:`replay`).
             store: optional on-disk :class:`ResultStore` so replays
                 resume across runner instances and processes.
+            source: replay a trace file (path or
+                :class:`~repro.experiments.source.TraceSource`)
+                instead of the synthetic ``scale``/``seed`` workload.
+                Trace-backed runners have a :attr:`log` but no
+                :attr:`workload` (there is no chain/state behind a
+                trace), so figure drivers needing the substrate
+                (fig1/fig2) require a synthetic runner.
         """
         self.scale = scale
         self.seed = seed
         self.metric_window = metric_window_hours * HOUR
         self.jobs = jobs
         self.store = store
+        self.source: Optional[TraceSource] = None
+        if source is not None:
+            source = as_log_source(source)
+            if not isinstance(source, TraceSource):
+                raise ValueError(
+                    "runner source= takes a trace; spell synthetic "
+                    "workloads through scale=/seed="
+                )
+            self.source = source
         self._workload: Optional[WorkloadResult] = None
+        self._log = None
         self._cells: Dict[CellKey, CellResult] = {}
         self._replays: Dict[CellKey, ReplayResult] = {}
 
@@ -71,9 +90,31 @@ class ExperimentRunner:
 
     @property
     def workload(self) -> WorkloadResult:
+        if self.source is not None:
+            raise ValueError(
+                f"runner replays trace {self.source.path!r}; there is no "
+                "synthetic workload (chain/state) behind it — use .log"
+            )
         if self._workload is None:
             self._workload = generate_history(config_for_scale(self.scale, self.seed))
         return self._workload
+
+    @property
+    def log(self):
+        """The interaction log replays stream (memoised).
+
+        For trace-backed runners this opens the trace once (an O(1)
+        mmap for binary rctrace files); otherwise it is the synthetic
+        workload's boxed log.  A preloaded
+        :class:`~repro.graph.columnar.ColumnarLog` can be injected by
+        assigning ``runner._log`` (mirrors ``runner._workload``).
+        """
+        if self._log is None:
+            if self.source is not None:
+                self._log = self.source.load()
+            else:
+                self._log = self.workload.builder.log
+        return self._log
 
     # -- declarative surface -------------------------------------------
 
@@ -91,6 +132,7 @@ class ExperimentRunner:
             ks=tuple(ks),
             window_hours=self.window_hours,
             replay_seeds=tuple(seeds),
+            source=self.source,
         )
 
     def run(self, spec: ExperimentSpec) -> ResultSet:
@@ -107,14 +149,22 @@ class ExperimentRunner:
             )
         missing = [key for key in spec.cells() if key not in self._cells]
         if missing:
+            # lazy handles: a fully-store-resumed run neither generates
+            # the workload nor opens the trace; the memos still kick in
+            # when a cell actually replays.  A trace-backed runner with
+            # jobs>1 passes nothing at all — run_experiment hands the
+            # spec's TraceSource to the workers, which mmap it
+            # themselves (an mmap-backed log must not cross processes).
+            if self.source is not None:
+                handles = {} if self.jobs > 1 else {"log": lambda: self.log}
+            else:
+                handles = {"workload": lambda: self.workload}
             rs = run_experiment(
                 spec,
                 jobs=self.jobs,
                 store=self.store,
-                # lazy: a fully-store-resumed run never generates the
-                # workload; the memo still kicks in when it is needed
-                workload=lambda: self.workload,
                 only=missing,
+                **handles,
             )
             for key in missing:
                 self._cells[key] = rs.cell(key)

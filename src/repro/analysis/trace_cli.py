@@ -4,11 +4,18 @@ published trace.
 The paper releases its extracted Ethereum interactions "in easily
 understandable format" for further analysis and benchmarking; this CLI
 does the equivalent for the synthetic trace, and analyses any trace in
-the same format (including a real one, dropped in):
+either supported format (including a real one, dropped in):
 
     repro-trace export --scale small --out trace.txt.gz
-    repro-trace stats trace.txt.gz
-    repro-trace verify trace.txt.gz
+    repro-trace export --scale small --format binary --out trace.rct
+    repro-trace convert trace.txt.gz trace.rct
+    repro-trace stats trace.rct --window-hours 24
+    repro-trace verify trace.rct
+
+Formats: text v1 (human-readable interchange) and binary rctrace v2
+(the mmap-able columnar replay format — see :mod:`repro.graph.io` for
+the layout).  ``stats``/``verify``/``convert`` sniff the input format
+from the file's magic, never the extension.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from repro.analysis.runner import SCALES, config_for_scale
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-trace",
-        description="Export, inspect and verify interaction traces.",
+        description="Export, convert, inspect and verify interaction traces.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -31,9 +38,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     exp.add_argument("--scale", default="small", choices=SCALES)
     exp.add_argument("--seed", type=int, default=42)
     exp.add_argument("--out", required=True, help="output path (.gz supported)")
+    exp.add_argument("--format", default="auto",
+                     choices=("auto", "text", "binary"),
+                     help="trace format; 'auto' picks binary for "
+                     ".rct/.rct.gz paths, text otherwise")
+
+    conv = sub.add_parser("convert", help="convert a trace between formats")
+    conv.add_argument("src", help="input trace (format sniffed)")
+    conv.add_argument("dst", help="output path")
+    conv.add_argument("--format", default="auto",
+                      choices=("auto", "text", "binary"),
+                      help="output format; 'auto' infers from dst extension")
 
     st = sub.add_parser("stats", help="descriptive statistics of a trace file")
     st.add_argument("path")
+    st.add_argument("--window-hours", type=float, default=24.0,
+                    help="window width for the per-window activity table "
+                    "(default: 24; 0 disables the table)")
 
     ver = sub.add_parser("verify", help="check a trace file's integrity")
     ver.add_argument("path")
@@ -41,6 +62,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "export":
         return _export(args)
+    if args.command == "convert":
+        return _convert(args)
     if args.command == "stats":
         return _stats(args)
     if args.command == "verify":
@@ -48,38 +71,89 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _resolve_format(fmt: str, out_path: str) -> str:
+    from repro.graph.io import default_trace_format
+
+    return default_trace_format(out_path) if fmt == "auto" else fmt
+
+
 def _export(args) -> int:
     from repro.ethereum.workload import generate_history
-    from repro.graph.io import write_trace
+    from repro.graph.columnar import ColumnarLog
+    from repro.graph.io import write_columnar, write_trace
 
+    fmt = _resolve_format(args.format, args.out)
     result = generate_history(config_for_scale(args.scale, args.seed))
-    n = write_trace(result.builder.log, args.out)
+    if fmt == "binary":
+        n = write_columnar(ColumnarLog(result.builder.log), args.out)
+    else:
+        n = write_trace(result.builder.log, args.out)
     print(f"wrote {n} interactions "
-          f"({result.num_transactions} transactions) to {args.out}")
+          f"({result.num_transactions} transactions) to {args.out} "
+          f"[{fmt} v{2 if fmt == 'binary' else 1}]")
+    return 0
+
+
+def _convert(args) -> int:
+    from repro.errors import TraceFormatError
+    from repro.graph.io import convert_trace, trace_format
+
+    fmt = _resolve_format(args.format, args.dst)
+    try:
+        src_fmt = trace_format(args.src)
+        n = convert_trace(args.src, args.dst, fmt=fmt)
+    except TraceFormatError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"converted {n} interactions: {args.src} [{src_fmt}] "
+          f"-> {args.dst} [{fmt}]")
     return 0
 
 
 def _stats(args) -> int:
-    from repro.graph.analytics import compute_trace_stats, render_trace_stats
+    from repro.errors import TraceFormatError
+    from repro.graph.analytics import (
+        compute_trace_stats,
+        compute_window_stats,
+        render_trace_stats,
+        render_window_stats,
+    )
     from repro.graph.builder import build_graph
-    from repro.graph.io import read_trace
+    from repro.graph.io import load_trace_log, trace_format
 
-    log = list(read_trace(args.path))
-    if not log:
+    try:
+        fmt = trace_format(args.path)
+        log = load_trace_log(args.path, fmt=fmt)   # no re-sniff
+    except TraceFormatError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    if not len(log):
         print("trace is empty", file=sys.stderr)
         return 1
     graph = build_graph(log)
+    print(f"[{args.path}: {fmt} format, {len(log)} records]")
     print(render_trace_stats(compute_trace_stats(graph, log)))
+    if args.window_hours > 0:
+        window = args.window_hours * 3600.0
+        print()
+        print(render_window_stats(compute_window_stats(log, window), window))
     return 0
 
 
 def _verify(args) -> int:
     from repro.errors import TraceFormatError
-    from repro.graph.io import read_trace
+    from repro.graph.io import load_columnar, read_trace, trace_format
 
-    count = 0
-    last_ts = float("-inf")
     try:
+        if trace_format(args.path) == "binary":
+            # load_columnar's verify pass covers checksum, section
+            # lengths, time-ordering, kind codes and index bounds
+            log = load_columnar(args.path, verify=True)
+            print(f"OK: {len(log)} records, {log.num_vertices} vertices, "
+                  "binary v2, checksum + ordering verified")
+            return 0
+        count = 0
+        last_ts = float("-inf")
         for it in read_trace(args.path):
             if it.timestamp < last_ts:
                 print(f"FAIL: out-of-order timestamp at record {count}",

@@ -20,6 +20,12 @@ process-pool fan-out, on-disk resume), and consume the serializable
 
 from repro.experiments.results import CellResult, ResultSet
 from repro.experiments.run import run_experiment
+from repro.experiments.source import (
+    LogSource,
+    SyntheticSource,
+    TraceSource,
+    as_log_source,
+)
 from repro.experiments.spec import (
     SCALES,
     CellKey,
@@ -33,10 +39,14 @@ __all__ = [
     "CellKey",
     "CellResult",
     "ExperimentSpec",
+    "LogSource",
     "MethodSpec",
     "ResultSet",
     "ResultStore",
     "SCALES",
+    "SyntheticSource",
+    "TraceSource",
+    "as_log_source",
     "config_for_scale",
     "run_experiment",
 ]

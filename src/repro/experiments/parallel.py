@@ -9,6 +9,15 @@ construction (each method instance carries its own RNG and state), so
 the fan-out is bit-identical to the sequential pass; only the amount
 of shared-graph rebuilding changes (once per worker instead of once).
 
+The ``log`` handle every entry point takes is either an in-memory log
+(shared with ``fork`` workers via copy-on-write, exactly as before) or
+a :class:`~repro.experiments.source.LogSource` — a tiny picklable
+value each worker resolves *itself* (for a
+:class:`~repro.experiments.source.TraceSource`, an O(1) mmap of the
+binary trace).  Source-handle fan-out therefore works under any
+multiprocessing start method, not just ``fork``, and never moves log
+bytes between processes.
+
 Chunks are balanced with a longest-processing-time greedy using a
 per-method cost model: the METIS family's periodic full-graph
 repartitioning dominates five-method sweeps (~95% of wall-clock at
@@ -21,7 +30,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.results import CellResult
+from repro.experiments.source import LogSource
 from repro.experiments.spec import CellKey
+from repro.graph.columnar import ColumnarLog
 
 #: Relative replay cost by method name (measured at small scale; the
 #: exact values only matter ordinally for chunk balancing).
@@ -68,11 +79,16 @@ def replay_chunk(
 ) -> List[CellResult]:
     """Replay one chunk of cells in a single shared pass (worker body).
 
-    Also used inline as the sequential fallback, so the parallel and
-    sequential paths execute literally the same code.
+    ``log`` may be an interaction log or a :class:`LogSource`, which
+    the worker resolves here — for a trace source, by mmap-ing the
+    file in its own address space.  Also used inline as the sequential
+    fallback, so the parallel and sequential paths execute literally
+    the same code.
     """
     from repro.core.multireplay import MultiReplayEngine
 
+    if isinstance(log, LogSource):
+        log = log.load()
     methods = [key.method.make(key.k, seed=key.seed) for key in keys]
     replays = MultiReplayEngine(log, methods, metric_window=window_seconds).run()
     return [
@@ -124,27 +140,46 @@ def run_chunks_parallel(
 
     ``on_chunk`` fires with each chunk's results *as it completes*
     (callers persist cells incrementally, so an interrupted sweep keeps
-    every finished chunk).  With the ``fork`` start method, workers
-    inherit the log via copy-on-write instead of receiving a pickled
-    copy per chunk.  Falls back to in-process execution when a pool
-    cannot be created (restricted sandboxes) or when workers could not
-    resolve a runtime-registered custom method; results are identical
-    either way.
+    every finished chunk).  A :class:`LogSource` handle is pickled to
+    the workers as-is (bytes never cross the pipe; each worker opens
+    its own mmap), independent of the start method.  For in-memory
+    logs with the ``fork`` start method, workers inherit the log via
+    copy-on-write instead of receiving a pickled copy per chunk.
+    Falls back to in-process execution when a pool cannot be created
+    (restricted sandboxes) or when workers could not resolve a
+    runtime-registered custom method; results are identical either
+    way.
     """
     results: List[Optional[List[CellResult]]] = [None] * len(chunks)
+    source_handle = isinstance(log, LogSource)
 
     def run_inline(indices):
+        # resolve a source once for all inline chunks (lazily, so a
+        # fallback with nothing left to recompute never opens it)
+        resolved = log
         for i in indices:
-            results[i] = replay_chunk(log, window_seconds, chunks[i])
+            if isinstance(resolved, LogSource):
+                resolved = resolved.load()
+            results[i] = replay_chunk(resolved, window_seconds, chunks[i])
             if on_chunk is not None:
                 on_chunk(results[i])
 
-    if jobs <= 1 or len(chunks) <= 1 or not _pool_can_run(chunks):
+    forked = _start_method() == "fork" and not source_handle
+    # a buffer-backed (mmap) ColumnarLog cannot be pickled to spawn/
+    # forkserver workers — without fork's copy-on-write inheritance the
+    # chunks must run inline (callers wanting parallel mmap fan-out on
+    # those platforms pass a TraceSource, which each worker opens)
+    unpicklable_log = (
+        not source_handle
+        and not forked
+        and isinstance(log, ColumnarLog)
+        and not log.is_writable
+    )
+    if jobs <= 1 or len(chunks) <= 1 or not _pool_can_run(chunks) or unpicklable_log:
         run_inline(range(len(chunks)))
         return results
 
     global _FORK_SHARED
-    forked = _start_method() == "fork"
     try:
         import concurrent.futures as futures
 

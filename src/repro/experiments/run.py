@@ -22,12 +22,20 @@ Execution plan:
 Results are bit-identical to independent legacy
 :class:`~repro.core.replay.ReplayEngine` runs for any ``jobs`` — the
 engine's fan-out is the unit of equivalence, asserted in
-``tests/experiments/test_run.py``.
+``tests/experiments/test_run.py`` — and to the equivalent synthetic
+replay when the spec names a trace file exported from that workload
+(``tests/experiments/test_source.py``).
+
+Trace-sourced specs (``spec.source``) never generate a workload: the
+sequential path memory-maps the trace once, and the parallel path
+ships the tiny :class:`~repro.experiments.source.TraceSource` value to
+each worker, which opens the mmap itself — no fork inheritance, no
+pickled logs, instant resume.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Collection, Dict, Optional, Union
+from typing import Callable, Collection, Dict, Optional, Sequence, Union
 
 from repro.core.replay import ReplayResult
 from repro.ethereum.workload import WorkloadResult, generate_history
@@ -36,12 +44,18 @@ from repro.experiments.results import CellResult, ResultSet
 from repro.experiments.spec import CellKey, ExperimentSpec
 from repro.experiments.store import ResultStore
 
+#: ``log=`` accepts a preloaded log (ColumnarLog or interaction
+#: sequence) or a zero-arg callable producing one (lazy, like
+#: ``workload=``).
+LogLike = Union[Sequence, Callable[[], Sequence], None]
+
 
 def run_experiment(
     spec: ExperimentSpec,
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     workload: Union[WorkloadResult, Callable[[], WorkloadResult], None] = None,
+    log: LogLike = None,
     only: Optional[Collection[CellKey]] = None,
     progress: Optional[Callable[[CellKey, str], None]] = None,
 ) -> ResultSet:
@@ -51,7 +65,8 @@ def run_experiment(
         spec: the declarative grid.
         jobs: worker processes; ``1`` replays every cell in one shared
             single-pass stream, ``N>1`` fans cost-balanced chunks out
-            over a process pool (one shared stream per worker).
+            over a process pool (one shared stream per worker; for
+            trace-sourced specs every worker mmaps the trace itself).
         store: optional on-disk store; completed cells are loaded
             instead of recomputed and fresh cells are persisted.
         workload: pre-generated workload matching the spec's scale and
@@ -61,6 +76,13 @@ def run_experiment(
             never pays for workload generation).  A workload whose
             config does not match the spec is rejected — its results
             would be silently persisted under the wrong store identity.
+            Invalid for trace-sourced specs.
+        log: preloaded interaction log (or a zero-arg callable
+            producing one) to replay instead of resolving the spec's
+            source — e.g. a :class:`~repro.graph.columnar.ColumnarLog`
+            already mmap-ed by the caller.  The caller vouches that it
+            matches the spec's source identity.  Mutually exclusive
+            with ``workload``.
         only: restrict execution to this subset of ``spec.cells()``
             (callers with their own caches pass just their misses).
         progress: callback ``(cell, outcome)`` with outcome one of
@@ -68,6 +90,13 @@ def run_experiment(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if workload is not None and log is not None:
+        raise ValueError("pass either workload= or log=, not both")
+    if workload is not None and spec.is_trace_sourced:
+        raise ValueError(
+            f"spec replays trace {spec.source.path!r}; pass log= (a "
+            "preloaded log) instead of workload="
+        )
     cells = spec.cells()
     if only is not None:
         wanted = set(only)
@@ -90,17 +119,27 @@ def run_experiment(
 
     live: Dict[CellKey, ReplayResult] = {}
     if pending:
-        if callable(workload):
-            workload = workload()
-        if workload is None:
-            workload = generate_history(spec.workload_config())
-        elif workload.config != spec.workload_config():
-            raise ValueError(
-                f"workload config {workload.config} does not match the "
-                f"spec's {spec.workload_config()} ({spec.workload_id()}); "
-                "results would be stored under the wrong identity"
-            )
-        log = workload.builder.log
+        if callable(log):
+            log = log()
+        if log is not None:
+            handle = log
+        elif spec.is_trace_sourced:
+            # the source itself is the handle: the sequential path
+            # loads it once below; the parallel path pickles it to the
+            # workers, which open the mmap independently
+            handle = spec.source
+        else:
+            if callable(workload):
+                workload = workload()
+            if workload is None:
+                workload = generate_history(spec.workload_config())
+            elif workload.config != spec.workload_config():
+                raise ValueError(
+                    f"workload config {workload.config} does not match the "
+                    f"spec's {spec.workload_config()} ({spec.workload_id()}); "
+                    "results would be stored under the wrong identity"
+                )
+            handle = workload.builder.log
         window = spec.window_seconds
         def collect(cell: CellResult) -> None:
             done[cell.key] = cell
@@ -114,9 +153,11 @@ def run_experiment(
             # full ReplayResults (with the shared cumulative graph) for
             # same-process callers like the back-compat runner facade
             from repro.core.multireplay import MultiReplayEngine
+            from repro.experiments.source import LogSource
 
+            shared = handle.load() if isinstance(handle, LogSource) else handle
             methods = [key.method.make(key.k, seed=key.seed) for key in pending]
-            replays = MultiReplayEngine(log, methods, metric_window=window).run()
+            replays = MultiReplayEngine(shared, methods, metric_window=window).run()
             for key, replay in zip(pending, replays):
                 live[key] = replay
                 collect(CellResult.from_replay(key, replay))
@@ -125,7 +166,7 @@ def run_experiment(
             # interrupted parallel sweep keeps every completed chunk
             chunks = partition_cells(pending, jobs)
             run_chunks_parallel(
-                log, window, chunks, jobs,
+                handle, window, chunks, jobs,
                 on_chunk=lambda cells: [collect(c) for c in cells],
             )
 

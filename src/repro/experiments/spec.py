@@ -8,21 +8,24 @@ The experiment API is redesigned around *data* instead of call styles:
   compact string like ``"tr-metis?warm=true&cut_threshold=0.3"``, is
   validated against the registry up front, and its canonical
   :attr:`~MethodSpec.label` is a stable cache/store key.
-* :class:`ExperimentSpec` — one whole comparison grid: workload scale
-  and seed, method specs, shard counts, metric window and replay
-  seeds.  :meth:`ExperimentSpec.cells` enumerates the grid as
+* :class:`ExperimentSpec` — one whole comparison grid: the log source
+  (named workload scale + seed, **or** a trace file), method specs,
+  shard counts, metric window and replay seeds.
+  :meth:`ExperimentSpec.cells` enumerates the grid as
   :class:`CellKey` objects, the unit of execution, caching and
   resumption used by :func:`repro.experiments.run.run_experiment`.
 
 Both specs round-trip through JSON (``from_dict(to_dict(spec)) ==
 spec``), so sweeps can be described in files and results can carry
-their provenance.
+their provenance — including which trace file they replayed
+(``source=`` serializes into the spec JSON and into the store
+identity via :meth:`ExperimentSpec.workload_id`).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core.registry import (
     available_methods,
@@ -30,26 +33,19 @@ from repro.core.registry import (
     method_params,
 )
 from repro.ethereum.workload import WorkloadConfig
+from repro.experiments.source import (  # re-exported: the runner/CLI vocabulary
+    SCALES,
+    LogSource,
+    SourceLike,
+    SyntheticSource,
+    TraceSource,
+    as_log_source,
+    config_for_scale,
+)
 from repro.graph.snapshot import HOUR
-
-#: Named workload scales; values are WorkloadConfig factory names.
-SCALES = ("tiny", "small", "medium", "default")
 
 #: Parameter value types a method spec may carry.
 ParamValue = Union[bool, int, float, str]
-
-
-def config_for_scale(scale: str, seed: int) -> WorkloadConfig:
-    """Workload config for a named scale (the CLI/runner vocabulary)."""
-    if scale == "tiny":
-        return WorkloadConfig.tiny(seed)
-    if scale == "small":
-        return WorkloadConfig.small(seed)
-    if scale == "medium":
-        return WorkloadConfig.medium(seed)
-    if scale == "default":
-        return WorkloadConfig(seed=seed)
-    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
 
 
 def _coerce_value(text: str) -> ParamValue:
@@ -227,6 +223,12 @@ class ExperimentSpec:
         window_hours: metric window width in hours (paper: 4).
         replay_seeds: per-replay method seeds; the grid is
             methods × ks × replay_seeds.
+        source: where the log comes from — ``None`` replays the
+            synthetic workload named by ``scale``/``workload_seed``; a
+            trace path (or :class:`TraceSource`) replays that file
+            instead, in which case scale/seed are ignored.  Passing a
+            :class:`SyntheticSource` is equivalent to setting
+            scale/seed and normalises to ``None``.
     """
 
     scale: str = "small"
@@ -235,8 +237,18 @@ class ExperimentSpec:
     ks: Tuple[int, ...] = (2,)
     window_hours: float = 24.0
     replay_seeds: Tuple[int, ...] = (1,)
+    source: Optional[TraceSource] = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
+        source = self.source
+        if source is not None:
+            source = as_log_source(source)
+            if isinstance(source, SyntheticSource):
+                # canonical form: synthetic sources live in scale/seed
+                object.__setattr__(self, "scale", source.scale)
+                object.__setattr__(self, "workload_seed", source.seed)
+                source = None
+        object.__setattr__(self, "source", source)
         if self.scale not in SCALES:
             raise ValueError(f"unknown scale {self.scale!r}; choose from {SCALES}")
         methods = tuple(MethodSpec.parse(m) for m in _as_iterable(self.methods))
@@ -260,12 +272,28 @@ class ExperimentSpec:
     def window_seconds(self) -> float:
         return self.window_hours * HOUR
 
+    @property
+    def log_source(self) -> LogSource:
+        """The effective :class:`LogSource` of this grid."""
+        if self.source is not None:
+            return self.source
+        return SyntheticSource(scale=self.scale, seed=self.workload_seed)
+
+    @property
+    def is_trace_sourced(self) -> bool:
+        return self.source is not None
+
     def workload_config(self) -> WorkloadConfig:
+        if self.is_trace_sourced:
+            raise ValueError(
+                f"spec replays trace {self.source.path!r}; it has no "
+                "synthetic workload config"
+            )
         return config_for_scale(self.scale, self.workload_seed)
 
     def workload_id(self) -> str:
         """Identity of the replayed workload + windowing (store keying)."""
-        return f"{self.scale}-w{self.workload_seed}-win{self.window_hours:g}h"
+        return f"{self.log_source.identity}-win{self.window_hours:g}h"
 
     def cells(self) -> Tuple[CellKey, ...]:
         """The grid as (method × k × seed) cells, deduplicated, in
@@ -281,7 +309,7 @@ class ExperimentSpec:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "scale": self.scale,
             "workload_seed": self.workload_seed,
             "methods": [m.label for m in self.methods],
@@ -289,9 +317,13 @@ class ExperimentSpec:
             "window_hours": self.window_hours,
             "replay_seeds": list(self.replay_seeds),
         }
+        if self.source is not None:
+            data["source"] = self.source.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        source = data.get("source")
         return cls(
             scale=data["scale"],
             workload_seed=int(data["workload_seed"]),
@@ -299,6 +331,7 @@ class ExperimentSpec:
             ks=tuple(data["ks"]),
             window_hours=float(data["window_hours"]),
             replay_seeds=tuple(data.get("replay_seeds", (1,))),
+            source=LogSource.from_dict(source) if source is not None else None,
         )
 
 

@@ -13,6 +13,7 @@ import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.graph.builder import Interaction, group_by_transaction
+from repro.graph.columnar import ColumnarLog
 from repro.graph.digraph import VertexKind, WeightedDiGraph
 
 
@@ -117,6 +118,103 @@ def compute_trace_stats(
         self_loop_ratio=self_loops / len(log) if log else 0.0,
         span_days=span,
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowStats:
+    """One metric window's worth of trace activity."""
+
+    index: int
+    start_ts: float
+    interactions: int
+    distinct_vertices: int   # distinct vertices seen up to window end
+    new_vertices: int        # first appearances inside this window
+
+
+def compute_window_stats(
+    log: ColumnarLog, window_seconds: float
+) -> List[WindowStats]:
+    """Per-window interaction counts and distinct-vertex growth.
+
+    Window boundaries resolve with two bisects on the (possibly
+    mmap-backed) timestamp column; vertex growth is one running-max
+    scan of the dense src/dst index columns — interning is in
+    first-appearance order, so the number of distinct vertices after
+    row ``r`` is ``max(index seen) + 1``.  O(N) total, no boxing.
+    """
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    n = len(log)
+    if n == 0:
+        return []
+    src = log.src_indices()
+    dst = log.dst_indices()
+    out: List[WindowStats] = []
+    start = log.first_timestamp
+    end_ts = log.last_timestamp
+    if not (math.isfinite(start) and math.isfinite(end_ts)):
+        raise ValueError(
+            f"log timestamps must be finite to window over "
+            f"(span [{start}, {end_ts}])"
+        )
+    lo = 0
+    seen_max = -1
+    index = 0
+    while start <= end_ts:
+        hi = log.index_at(start + window_seconds)
+        prev_distinct = seen_max + 1
+        for i in range(lo, hi):
+            if src[i] > seen_max:
+                seen_max = src[i]
+            if dst[i] > seen_max:
+                seen_max = dst[i]
+        distinct = seen_max + 1
+        out.append(WindowStats(
+            index=index,
+            start_ts=start,
+            interactions=hi - lo,
+            distinct_vertices=distinct,
+            new_vertices=distinct - prev_distinct,
+        ))
+        lo = hi
+        next_start = start + window_seconds
+        if next_start <= start:
+            # below float resolution at this timestamp magnitude: the
+            # loop would stall and spin forever
+            raise ValueError(
+                f"window_seconds={window_seconds} is too small to "
+                f"advance from timestamp {start}"
+            )
+        start = next_start
+        index += 1
+    return out
+
+
+def render_window_stats(
+    windows: Sequence[WindowStats], window_seconds: float
+) -> str:
+    """Per-window activity table (compact; empty-window runs elided)."""
+    lines = [
+        f"per-window activity (window = {window_seconds / 3600.0:g}h)",
+        f"  {'window':>6s} {'start day':>10s} {'interactions':>12s} "
+        f"{'vertices':>9s} {'new':>7s}",
+    ]
+    elided = 0
+    for w in windows:
+        if w.interactions == 0:
+            elided += 1
+            continue
+        if elided:
+            lines.append(f"  {'...':>6s} {elided} empty window(s) elided")
+            elided = 0
+        lines.append(
+            f"  {w.index:6d} {w.start_ts / 86400.0:10.2f} "
+            f"{w.interactions:12d} {w.distinct_vertices:9d} "
+            f"{w.new_vertices:7d}"
+        )
+    if elided:
+        lines.append(f"  {'...':>6s} {elided} empty window(s) elided")
+    return "\n".join(lines)
 
 
 def render_trace_stats(stats: TraceStats) -> str:

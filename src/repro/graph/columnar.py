@@ -24,13 +24,25 @@ consumers (partitioners, accelerator kernels) want, and
 
 The log is append-only and must stay time-ordered, mirroring
 :class:`~repro.graph.builder.GraphBuilder`'s contract.
+
+Two construction paths share the same read surface:
+
+* the **builder path** (``__init__`` / ``append`` / ``extend``) owns
+  mutable ``array`` columns and interns vertices as they appear;
+* the **buffer path** (:meth:`ColumnarLog.from_buffers`) wraps
+  already-materialised column buffers — typically ``memoryview`` casts
+  over an ``mmap``-ed rctrace-v2 file (:func:`repro.graph.io.
+  load_columnar`) — *without copying*.  Buffer-backed logs are
+  read-only (``append`` raises), and the raw-id → dense-index dict is
+  built lazily on the first reverse lookup, so a replay that only ever
+  streams windows never pays for it.
 """
 
 from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union, overload
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union, overload
 
 from repro.graph.builder import Interaction
 from repro.graph.digraph import VertexKind
@@ -47,6 +59,7 @@ class ColumnarLog:
         "_ts", "_src", "_dst", "_tx",
         "_src_kind", "_dst_kind",
         "_vertex_ids", "_vertex_index",
+        "_backing", "_writable",
     )
 
     def __init__(self, interactions: Iterable[Interaction] = ()) -> None:
@@ -57,7 +70,9 @@ class ColumnarLog:
         self._src_kind = array("b")
         self._dst_kind = array("b")
         self._vertex_ids: List[int] = []       # dense index -> raw id
-        self._vertex_index: Dict[int, int] = {}  # raw id -> dense index
+        self._vertex_index: Optional[Dict[int, int]] = {}  # raw id -> dense index
+        self._backing = None                   # keeps an mmap/buffer alive
+        self._writable = True
         self.extend(interactions)
 
     # ------------------------------------------------------------------
@@ -68,12 +83,91 @@ class ColumnarLog:
         """Build a columnar log from an Interaction sequence."""
         return cls(interactions)
 
+    @classmethod
+    def from_buffers(
+        cls,
+        *,
+        timestamps: Sequence[float],
+        src: Sequence[int],
+        dst: Sequence[int],
+        tx: Sequence[int],
+        src_kind: Sequence[int],
+        dst_kind: Sequence[int],
+        vertex_ids: Sequence[int],
+        backing: object = None,
+    ) -> "ColumnarLog":
+        """Wrap pre-materialised column buffers without copying.
+
+        Every column is any random-access sequence of the right element
+        type — in the hot path, ``memoryview`` casts over an ``mmap``-ed
+        trace file (see :func:`repro.graph.io.load_columnar`), so
+        construction is O(1) regardless of log size.  ``src``/``dst``
+        hold *dense* vertex indices into ``vertex_ids`` and the kind
+        columns hold the byte codes of :class:`VertexKind` in enum
+        definition order, exactly as the builder path stores them.
+
+        The resulting log is read-only (:meth:`append` raises
+        ``TypeError``; re-box with ``ColumnarLog(log)`` to get an
+        appendable copy) and builds its raw-id → dense-index dict
+        lazily on the first :meth:`vertex_index` lookup.  ``backing``
+        is retained only to keep the underlying mmap/file object alive
+        for the lifetime of the log.
+
+        Callers own the invariants the builder path enforces
+        incrementally (time-ordered timestamps, in-range indices);
+        :func:`~repro.graph.io.load_columnar` verifies them on load.
+        """
+        n = len(timestamps)
+        for name, col in (("src", src), ("dst", dst), ("tx", tx),
+                          ("src_kind", src_kind), ("dst_kind", dst_kind)):
+            if len(col) != n:
+                raise ValueError(
+                    f"column length mismatch: {name} has {len(col)} rows, "
+                    f"timestamps has {n}"
+                )
+        log = cls.__new__(cls)
+        log._ts = timestamps
+        log._src = src
+        log._dst = dst
+        log._tx = tx
+        log._src_kind = src_kind
+        log._dst_kind = dst_kind
+        log._vertex_ids = vertex_ids
+        log._vertex_index = None   # built lazily on first reverse lookup
+        log._backing = backing
+        log._writable = False
+        return log
+
+    @property
+    def is_writable(self) -> bool:
+        """Whether this log owns appendable columns (builder path).
+
+        Buffer-backed logs are read-only even when handed ``array``
+        columns — the caller's buffers are borrowed, never owned.
+        """
+        return self._writable
+
+    def _index(self) -> Dict[int, int]:
+        """The raw-id → dense-index dict, materialised on demand."""
+        if self._vertex_index is None:
+            self._vertex_index = {
+                v: i for i, v in enumerate(self._vertex_ids)
+            }
+        return self._vertex_index
+
     def intern(self, vertex: int) -> int:
         """Dense index of a raw vertex id, allocating one if new."""
-        idx = self._vertex_index.get(vertex)
+        index = self._index()
+        idx = index.get(vertex)
         if idx is None:
+            if not self.is_writable:
+                raise TypeError(
+                    f"cannot intern new vertex {vertex!r}: buffer-backed "
+                    "ColumnarLog is read-only (copy with ColumnarLog(log) "
+                    "to get an appendable log)"
+                )
             idx = len(self._vertex_ids)
-            self._vertex_index[vertex] = idx
+            index[vertex] = idx
             self._vertex_ids.append(vertex)
         return idx
 
@@ -84,7 +178,13 @@ class ColumnarLog:
         window bisect and every incremental consumer relies on); an
         interaction older than the current tail is rejected with the
         offending row position so the caller can locate the bad record.
+        Buffer-backed logs (:meth:`from_buffers`) are read-only.
         """
+        if not self.is_writable:
+            raise TypeError(
+                "buffer-backed ColumnarLog is read-only (copy with "
+                "ColumnarLog(log) to get an appendable log)"
+            )
         ts = self._ts
         if ts and it.timestamp < ts[-1]:
             raise ValueError(
@@ -121,7 +221,7 @@ class ColumnarLog:
 
     def vertex_index(self, vertex: int) -> int:
         """Dense index of a raw vertex id (KeyError if never seen)."""
-        return self._vertex_index[vertex]
+        return self._index()[vertex]
 
     def vertex_ids(self) -> Sequence[int]:
         """All raw vertex ids in first-appearance (dense-index) order."""
@@ -197,6 +297,33 @@ class ColumnarLog:
     def dst_indices(self) -> Sequence[int]:
         """The dst column as *dense* vertex indices (read-only view)."""
         return self._dst
+
+    def tx_ids(self) -> Sequence[int]:
+        """The transaction-id column (read-only view)."""
+        return self._tx
+
+    def src_kind_codes(self) -> Sequence[int]:
+        """The src vertex-kind column as byte codes (read-only view)."""
+        return self._src_kind
+
+    def dst_kind_codes(self) -> Sequence[int]:
+        """The dst vertex-kind column as byte codes (read-only view)."""
+        return self._dst_kind
+
+    def identical(self, other: "ColumnarLog") -> bool:
+        """Column-wise bit-identity with another log (any backing).
+
+        True iff every row and the vertex-id table match exactly — the
+        round-trip guarantee of the binary trace format.  O(N); meant
+        for tests and ``repro-trace`` verification, not hot paths.
+        """
+        if len(self) != len(other) or self.num_vertices != other.num_vertices:
+            return False
+        mine = (self._ts, self._src, self._dst, self._tx,
+                self._src_kind, self._dst_kind, self._vertex_ids)
+        theirs = (other._ts, other._src, other._dst, other._tx,
+                  other._src_kind, other._dst_kind, other._vertex_ids)
+        return all(list(a) == list(b) for a, b in zip(mine, theirs))
 
     def index_at(self, ts: float) -> int:
         """Index of the first interaction with timestamp >= ts (bisect)."""

@@ -1,30 +1,77 @@
-"""Trace dataset readers and writers.
+"""Trace dataset readers and writers: text v1 and binary rctrace v2.
 
 The paper publishes its extracted Ethereum trace "in easily
-understandable format".  We mirror that with a plain-text, one-record-
-per-line format so real traces can be dropped into the pipeline in place
-of the synthetic workload:
+understandable format".  We mirror that with two on-disk formats over
+the same logical record stream:
+
+**Text v1** — one record per line, human-readable, the interchange
+format for small traces and external tooling:
 
 ``timestamp tx_id src src_kind dst dst_kind``
 
-* ``timestamp`` — float seconds since genesis;
+* ``timestamp`` — float seconds since genesis, written with full
+  ``repr`` precision so a round-trip is bit-identical;
 * ``tx_id`` — integer id of the enclosing transaction;
 * ``src`` / ``dst`` — integer vertex ids;
 * ``src_kind`` / ``dst_kind`` — ``A`` (account) or ``C`` (contract).
 
 Lines starting with ``#`` are comments.  Files ending in ``.gz`` are
 transparently gzip-compressed.
+
+**Binary rctrace v2** — the columnar replay format: the parallel
+arrays of a :class:`~repro.graph.columnar.ColumnarLog` laid out as
+fixed-width little-endian sections, so :func:`load_columnar` can
+``mmap`` the file and hand zero-copy ``memoryview`` casts straight to
+:meth:`ColumnarLog.from_buffers` — no parsing, no boxing, O(1) load.
+The flat fixed-layout encoding follows the SSZ playbook (fixed-size
+parts serialize in place; all offsets derivable from the header).
+Layout::
+
+    offset  size          field
+    0       8             magic  b"RCTRACE2"
+    8       4             format version (uint32, = 2)
+    12      4             header size in bytes (uint32, = 64)
+    16      8             row count N (uint64)
+    24      8             vertex count V (uint64)
+    32      8             payload length in bytes (uint64)
+    40      4             crc32 of the payload (uint32)
+    44      20            reserved (zero)
+    64      V * 8         vertex-id table   (int64: dense index -> raw id)
+    --      N * 8         timestamps        (float64)
+    --      N * 8         src               (int64 dense vertex indices)
+    --      N * 8         dst               (int64 dense vertex indices)
+    --      N * 8         tx ids            (int64)
+    --      N * 1         src kinds         (int8: 0=account, 1=contract)
+    --      N * 1         dst kinds         (int8)
+
+All multi-byte fields are little-endian.  The payload length and the
+per-section lengths derived from (N, V) must agree with the file size,
+and the crc32 guards corruption — every violation raises
+:class:`~repro.errors.TraceFormatError` naming the offending section
+or offset, never a raw ``struct``/``IndexError``.  ``.gz`` paths are
+supported for v2 too (decompressed to memory; mmap needs a real file).
+
+:func:`load_trace_log` sniffs the format, :func:`convert_trace`
+translates between them.  Use text for interchange and eyeballing;
+binary for anything replay-sized (see README "Trace datasets").
 """
 
 from __future__ import annotations
 
 import gzip
 import io
+import math
+import mmap
 import os
-from typing import IO, Iterable, Iterator, Union
+import struct
+import sys
+import zlib
+from array import array
+from typing import IO, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.errors import TraceFormatError
 from repro.graph.builder import Interaction
+from repro.graph.columnar import ColumnarLog
 from repro.graph.digraph import VertexKind
 
 _KIND_TO_CODE = {VertexKind.ACCOUNT: "A", VertexKind.CONTRACT: "C"}
@@ -37,15 +84,28 @@ def _open_text(path_or_file: PathOrFile, mode: str) -> IO[str]:
     if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
         return path_or_file  # type: ignore[return-value]
     path = os.fspath(path_or_file)  # type: ignore[arg-type]
-    if path.endswith(".gz"):
+    if "r" in mode:
+        # sniff compression by content, not extension — a gzipped
+        # trace without a .gz suffix must still read transparently
+        with open(path, "rb") as probe:
+            gzipped = probe.read(2) == b"\x1f\x8b"
+    else:
+        gzipped = path.endswith(".gz")
+    if gzipped:
         return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 
 
 def format_interaction(interaction: Interaction) -> str:
-    """One trace line (without newline) for an interaction."""
+    """One trace line (without newline) for an interaction.
+
+    Timestamps are written with ``repr`` (shortest string that parses
+    back to the same double), so an exported-then-reimported trace is
+    bit-identical to the in-memory log — a fixed-precision format like
+    ``%.3f`` would silently lose sub-millisecond structure.
+    """
     return (
-        f"{interaction.timestamp:.3f} {interaction.tx_id} "
+        f"{interaction.timestamp!r} {interaction.tx_id} "
         f"{interaction.src} {_KIND_TO_CODE[interaction.src_kind]} "
         f"{interaction.dst} {_KIND_TO_CODE[interaction.dst_kind]}"
     )
@@ -66,6 +126,12 @@ def parse_interaction(line: str, lineno: int = 0) -> Interaction:
         dst = int(dst_s)
     except ValueError as exc:
         raise TraceFormatError(f"line {lineno}: bad numeric field: {line!r}") from exc
+    if not math.isfinite(ts):
+        # nan/inf parse as floats but poison the log's time-ordering
+        # guard downstream with a confusing error; reject at the source
+        raise TraceFormatError(
+            f"line {lineno}: non-finite timestamp {ts_s!r}: {line!r}"
+        )
     try:
         src_kind = _CODE_TO_KIND[src_k]
         dst_kind = _CODE_TO_KIND[dst_k]
@@ -97,11 +163,26 @@ def write_trace(interactions: Iterable[Interaction], path_or_file: PathOrFile) -
 
 
 def read_trace(path_or_file: PathOrFile) -> Iterator[Interaction]:
-    """Stream interactions from a trace file (lazily)."""
+    """Stream interactions from a trace file (lazily).
+
+    Gzip compression is sniffed from the content, so misnamed ``.gz``
+    files read fine; bytes that are not utf-8 text at all surface as
+    :class:`TraceFormatError`, never a raw ``UnicodeDecodeError``.
+    """
     f = _open_text(path_or_file, "r")
     should_close = f is not path_or_file
     try:
-        for lineno, raw in enumerate(f, start=1):
+        lines = enumerate(f, start=1)
+        while True:
+            try:
+                lineno, raw = next(lines)
+            except StopIteration:
+                return
+            except UnicodeDecodeError as exc:
+                raise TraceFormatError(
+                    f"not a text trace: invalid utf-8 near byte "
+                    f"{exc.start} ({exc.reason})"
+                ) from exc
             line = raw.strip()
             if not line or line.startswith("#"):
                 continue
@@ -109,3 +190,359 @@ def read_trace(path_or_file: PathOrFile) -> Iterator[Interaction]:
     finally:
         if should_close:
             f.close()
+
+
+# ----------------------------------------------------------------------
+# binary rctrace v2 (see the module docstring for the layout)
+
+TRACE_MAGIC = b"RCTRACE2"
+TRACE_VERSION = 2
+
+#: magic, version, header size, n_rows, n_vertices, payload bytes,
+#: crc32, reserved — 64 bytes total, little-endian.
+_HEADER = struct.Struct("<8sIIQQQI20s")
+_HEADER_SIZE = _HEADER.size
+assert _HEADER_SIZE == 64
+
+#: (attribute typecode, item size) per payload section, in file order;
+#: the vertex-id table precedes the row columns.
+_ROW_SECTIONS: Tuple[Tuple[str, str, int], ...] = (
+    ("timestamps", "d", 8),
+    ("src", "q", 8),
+    ("dst", "q", 8),
+    ("tx", "q", 8),
+    ("src_kind", "b", 1),
+    ("dst_kind", "b", 1),
+)
+
+_NATIVE_LE = sys.byteorder == "little"
+
+#: valid vertex-kind byte codes (file values; matches ColumnarLog's
+#: enum-definition-order codes: 0=account, 1=contract)
+_VALID_KIND_BYTES = frozenset(range(len(tuple(VertexKind))))
+
+
+def _column_le_bytes(column: Sequence, typecode: str) -> bytes:
+    """A column's items as packed little-endian bytes."""
+    if isinstance(column, memoryview):
+        # memoryview-backed columns only exist on little-endian hosts
+        # (load_columnar falls back to swapped array copies elsewhere)
+        return column.tobytes()
+    arr = column if isinstance(column, array) else array(typecode, column)
+    if not _NATIVE_LE:
+        arr = array(typecode, arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _le_column(data: memoryview, typecode: str):
+    """A payload slice as a native sequence of ``typecode`` items."""
+    if _NATIVE_LE:
+        return data.cast(typecode)
+    arr = array(typecode)
+    arr.frombytes(data.tobytes())
+    arr.byteswap()
+    return arr
+
+
+def _payload_length(n_rows: int, n_vertices: int) -> int:
+    return n_vertices * 8 + sum(n_rows * size for _, _, size in _ROW_SECTIONS)
+
+
+def write_columnar(
+    log: Union[ColumnarLog, Iterable[Interaction]],
+    path_or_file: Union[str, os.PathLike, IO[bytes]],
+) -> int:
+    """Write a log as a binary rctrace-v2 file; returns the row count.
+
+    ``log`` may be a :class:`ColumnarLog` (any backing) or a plain
+    interaction iterable (boxed logs are columnarised first).  ``.gz``
+    paths are gzip-compressed.  The written file round-trips through
+    :func:`load_columnar` bit-identically by construction: the sections
+    *are* the log's arrays.
+    """
+    if not isinstance(log, ColumnarLog):
+        log = ColumnarLog(log)
+    sections = [
+        _column_le_bytes(log.vertex_ids(), "q"),
+        _column_le_bytes(log.timestamps(), "d"),
+        _column_le_bytes(log.src_indices(), "q"),
+        _column_le_bytes(log.dst_indices(), "q"),
+        _column_le_bytes(log.tx_ids(), "q"),
+        _column_le_bytes(log.src_kind_codes(), "b"),
+        _column_le_bytes(log.dst_kind_codes(), "b"),
+    ]
+    crc = 0
+    payload_bytes = 0
+    for s in sections:
+        crc = zlib.crc32(s, crc)
+        payload_bytes += len(s)
+    header = _HEADER.pack(
+        TRACE_MAGIC, TRACE_VERSION, _HEADER_SIZE,
+        len(log), log.num_vertices, payload_bytes, crc, b"\0" * 20,
+    )
+
+    if hasattr(path_or_file, "write"):
+        f: IO[bytes] = path_or_file  # type: ignore[assignment]
+        should_close = False
+    else:
+        path = os.fspath(path_or_file)
+        f = gzip.open(path, "wb") if path.endswith(".gz") else open(path, "wb")
+        should_close = True
+    try:
+        f.write(header)
+        for s in sections:
+            f.write(s)
+    finally:
+        if should_close:
+            f.close()
+    return len(log)
+
+
+def _parse_header(buf: memoryview, name: str) -> Tuple[int, int, int, int, int]:
+    """Validated (header_size, n_rows, n_vertices, payload_bytes, crc)."""
+    if len(buf) < _HEADER_SIZE:
+        raise TraceFormatError(
+            f"{name}: not an rctrace file — {len(buf)} bytes is shorter "
+            f"than the {_HEADER_SIZE}-byte header"
+        )
+    magic, version, header_size, n_rows, n_vertices, payload_bytes, crc, _ = (
+        _HEADER.unpack_from(buf, 0)
+    )
+    if magic != TRACE_MAGIC:
+        raise TraceFormatError(
+            f"{name}: bad magic at offset 0: {bytes(magic)!r} "
+            f"(expected {TRACE_MAGIC!r})"
+        )
+    if version != TRACE_VERSION:
+        raise TraceFormatError(
+            f"{name}: unsupported rctrace version {version} at offset 8 "
+            f"(this reader understands version {TRACE_VERSION})"
+        )
+    if header_size < _HEADER_SIZE:
+        raise TraceFormatError(
+            f"{name}: header size {header_size} at offset 12 is smaller "
+            f"than the fixed header ({_HEADER_SIZE})"
+        )
+    expected = _payload_length(n_rows, n_vertices)
+    if payload_bytes != expected:
+        raise TraceFormatError(
+            f"{name}: header payload length {payload_bytes} does not match "
+            f"the {expected} bytes implied by {n_rows} rows and "
+            f"{n_vertices} vertices"
+        )
+    if len(buf) - header_size != payload_bytes:
+        raise TraceFormatError(
+            f"{name}: truncated payload — expected {payload_bytes} bytes "
+            f"after the {header_size}-byte header, found {len(buf) - header_size}"
+        )
+    return header_size, n_rows, n_vertices, payload_bytes, crc
+
+
+def load_columnar(
+    path: Union[str, os.PathLike],
+    verify: bool = True,
+) -> ColumnarLog:
+    """Load a binary rctrace-v2 file as a zero-copy :class:`ColumnarLog`.
+
+    The file is ``mmap``-ed and the columns are ``memoryview`` casts
+    over the mapping — no rows are parsed or boxed, so load time is
+    O(verification), not O(N · parse).  With ``verify=True`` (default)
+    the payload crc32 is checked and the timestamp/kind/index columns
+    are validated (time-ordered and finite, kind codes in range, dense
+    indices within the vertex table); ``verify=False`` skips those
+    passes for maximum-speed loads of already-trusted files.
+
+    ``.gz`` files are decompressed into memory (still unparsed) since
+    a compressed stream cannot be mapped.
+
+    Raises :class:`~repro.errors.TraceFormatError` for every malformed
+    input — bad magic, version mismatch, truncated sections, checksum
+    failure — naming the file and offending section.
+    """
+    path = os.fspath(path)
+    name = os.path.basename(path)
+    backing: object
+    with open(path, "rb") as probe:
+        gzipped = probe.read(2) == b"\x1f\x8b"   # content, not extension
+    if gzipped:
+        try:
+            with gzip.open(path, "rb") as f:
+                raw = f.read()
+        except (OSError, EOFError) as exc:
+            raise TraceFormatError(f"{name}: corrupt gzip stream: {exc}") from exc
+        buf = memoryview(raw)
+        backing = raw
+    else:
+        f = open(path, "rb")
+        try:
+            try:
+                mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                # empty or unmappable file: fall back to a plain read
+                f.seek(0)
+                raw = f.read()
+                buf = memoryview(raw)
+                backing = raw
+            else:
+                buf = memoryview(mapped)
+                backing = (mapped, buf)
+        finally:
+            f.close()
+
+    header_size, n_rows, n_vertices, payload_bytes, crc = _parse_header(buf, name)
+    payload = buf[header_size:]
+    if verify and zlib.crc32(payload) != crc:
+        raise TraceFormatError(
+            f"{name}: payload checksum mismatch — stored 0x{crc:08x}, "
+            f"computed 0x{zlib.crc32(payload):08x} (corrupt trace)"
+        )
+
+    offset = 0
+    vertex_ids = _le_column(payload[offset:offset + n_vertices * 8], "q")
+    offset += n_vertices * 8
+    columns = {}
+    for attr, typecode, size in _ROW_SECTIONS:
+        end = offset + n_rows * size
+        columns[attr] = _le_column(payload[offset:end], typecode)
+        offset = end
+
+    if verify:
+        _verify_columns(name, columns, n_vertices)
+
+    return ColumnarLog.from_buffers(
+        timestamps=columns["timestamps"],
+        src=columns["src"],
+        dst=columns["dst"],
+        tx=columns["tx"],
+        src_kind=columns["src_kind"],
+        dst_kind=columns["dst_kind"],
+        vertex_ids=vertex_ids,
+        backing=backing,
+    )
+
+
+def _verify_columns(name: str, columns: dict, n_vertices: int) -> None:
+    """Semantic validation of loaded columns (the builder invariants)."""
+    ts = columns["timestamps"]
+    prev = float("-inf")
+    for i in range(len(ts)):
+        cur = ts[i]
+        if not prev <= cur:       # also catches nan (fails every <=)
+            if not math.isfinite(cur):
+                raise TraceFormatError(
+                    f"{name}: non-finite timestamp {cur!r} at row {i}"
+                )
+            raise TraceFormatError(
+                f"{name}: out-of-order timestamp at row {i}: "
+                f"{cur!r} < {prev!r}"
+            )
+        prev = cur
+    # ordering makes first/last the column extremes, so ±inf (which
+    # satisfies every <=) reduces to an O(1) endpoint check
+    if len(ts) and not (math.isfinite(ts[0]) and math.isfinite(ts[-1])):
+        row = 0 if not math.isfinite(ts[0]) else len(ts) - 1
+        raise TraceFormatError(
+            f"{name}: non-finite timestamp {ts[row]!r} at row {row}"
+        )
+    for attr in ("src_kind", "dst_kind"):
+        codes = set(bytes(memoryview(columns[attr]).cast("B")))
+        bad = codes - set(_VALID_KIND_BYTES)
+        if bad:
+            raise TraceFormatError(
+                f"{name}: invalid vertex-kind code(s) {sorted(bad)} in the "
+                f"{attr} section (valid: {sorted(_VALID_KIND_BYTES)})"
+            )
+    for attr in ("src", "dst"):
+        col = columns[attr]
+        if len(col) and not 0 <= min(col) <= max(col) < n_vertices:
+            raise TraceFormatError(
+                f"{name}: {attr} section holds a dense vertex index outside "
+                f"the {n_vertices}-entry vertex table"
+            )
+
+
+# ----------------------------------------------------------------------
+# format sniffing and conversion
+
+#: file extensions that default to the binary format on writes
+BINARY_SUFFIXES = (".rct", ".rct.gz")
+
+
+def default_trace_format(path: Union[str, os.PathLike]) -> str:
+    """The output format a path's extension implies (write-side rule):
+    ``.rct``/``.rct.gz`` → ``"binary"``, anything else → ``"text"``."""
+    return "binary" if os.fspath(path).endswith(BINARY_SUFFIXES) else "text"
+
+
+def trace_format(path: Union[str, os.PathLike]) -> str:
+    """Sniff a trace file's format: ``"binary"`` or ``"text"``.
+
+    Looks at the leading bytes (through gzip, if compressed), so it
+    works regardless of file extension.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as f:
+        head = f.read(len(TRACE_MAGIC))
+    if head[:2] == b"\x1f\x8b":
+        try:
+            with gzip.open(path, "rb") as f:
+                head = f.read(len(TRACE_MAGIC))
+        except (OSError, EOFError) as exc:
+            raise TraceFormatError(
+                f"{os.path.basename(path)}: corrupt gzip stream: {exc}"
+            ) from exc
+    return "binary" if head == TRACE_MAGIC else "text"
+
+
+def load_trace_log(
+    path: Union[str, os.PathLike],
+    verify: bool = True,
+    fmt: Optional[str] = None,
+) -> ColumnarLog:
+    """Load any trace file (text v1 or binary v2) as a :class:`ColumnarLog`.
+
+    The format is sniffed from the file's magic (pass ``fmt`` to skip
+    the sniff when the caller already knows it).  Binary files load
+    zero-copy via :func:`load_columnar`; text files stream through
+    :func:`read_trace` into a fresh columnar log (parse-and-box — this
+    is precisely the cost the binary format exists to skip).  Either
+    way, a malformed trace — including an out-of-order text one —
+    raises :class:`~repro.errors.TraceFormatError`.
+    """
+    if fmt is None:
+        fmt = trace_format(path)
+    if fmt == "binary":
+        return load_columnar(path, verify=verify)
+    try:
+        return ColumnarLog(read_trace(path))
+    except ValueError as exc:
+        # ColumnarLog.append's ordering guard speaks row positions;
+        # re-raise in the trace-error vocabulary the CLIs catch
+        raise TraceFormatError(
+            f"{os.path.basename(os.fspath(path))}: {exc}"
+        ) from exc
+
+
+def convert_trace(
+    src: Union[str, os.PathLike],
+    dst: Union[str, os.PathLike],
+    fmt: Optional[str] = None,
+) -> int:
+    """Convert a trace between text v1 and binary v2; returns row count.
+
+    ``fmt`` forces the output format (``"text"``/``"binary"``); when
+    omitted it is inferred from ``dst``'s extension (``.rct``/
+    ``.rct.gz`` → binary, anything else → text).  The input format is
+    always sniffed.  Conversion is lossless in both directions: text v1
+    carries full-precision timestamps and binary v2 is the in-memory
+    layout itself.
+    """
+    if fmt is None:
+        fmt = default_trace_format(dst)
+    if fmt not in ("text", "binary"):
+        raise ValueError(f"unknown trace format {fmt!r} (use 'text' or 'binary')")
+    log = load_trace_log(src)
+    if fmt == "binary":
+        return write_columnar(log, dst)
+    return write_trace(log, dst)

@@ -24,6 +24,60 @@ class TestExport:
         with open(out, "rb") as f:
             assert f.read(2) == b"\x1f\x8b"
 
+    def test_export_binary_by_flag_and_extension(self, tmp_path, capsys):
+        from repro.graph.io import TRACE_MAGIC, trace_format
+
+        by_ext = tmp_path / "trace.rct"
+        assert main(["export", "--scale", "tiny", "--out", str(by_ext)]) == 0
+        assert "binary v2" in capsys.readouterr().out
+        assert by_ext.read_bytes()[:8] == TRACE_MAGIC
+
+        by_flag = tmp_path / "trace.dat"
+        assert main(["export", "--scale", "tiny", "--format", "binary",
+                     "--out", str(by_flag)]) == 0
+        assert trace_format(by_flag) == "binary"
+
+
+class TestConvert:
+    def test_convert_round_trip(self, tmp_path, capsys):
+        from repro.graph.io import load_trace_log
+
+        text = tmp_path / "t.txt"
+        main(["export", "--scale", "tiny", "--seed", "3", "--out", str(text)])
+        binary = tmp_path / "t.rct"
+        assert main(["convert", str(text), str(binary)]) == 0
+        assert "[text] -> " in capsys.readouterr().out
+        back = tmp_path / "back.txt"
+        assert main(["convert", str(binary), str(back)]) == 0
+        assert load_trace_log(back).identical(load_trace_log(text))
+
+    def test_convert_reports_bad_input(self, tmp_path, capsys):
+        bad = tmp_path / "junk.rct"
+        bad.write_text("not a trace\n")
+        out = tmp_path / "out.txt"
+        # text junk sniffs as text and fails to parse cleanly
+        assert main(["convert", str(bad), str(out)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+
+class TestStatsWindows:
+    def test_stats_reports_per_window_activity(self, tmp_path, capsys):
+        out = tmp_path / "trace.rct"
+        main(["export", "--scale", "tiny", "--seed", "7", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out), "--window-hours", "168"]) == 0
+        text = capsys.readouterr().out
+        assert "binary format" in text
+        assert "per-window activity (window = 168h)" in text
+        assert "interactions" in text and "new" in text
+
+    def test_stats_window_table_disabled_with_zero(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        main(["export", "--scale", "tiny", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out), "--window-hours", "0"]) == 0
+        assert "per-window activity" not in capsys.readouterr().out
+
 
 class TestVerify:
     def test_verify_good_trace(self, tmp_path, capsys):
@@ -32,6 +86,23 @@ class TestVerify:
         capsys.readouterr()
         assert main(["verify", str(out)]) == 0
         assert "OK" in capsys.readouterr().out
+
+    def test_verify_good_binary_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.rct"
+        main(["export", "--scale", "tiny", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 0
+        assert "checksum + ordering verified" in capsys.readouterr().out
+
+    def test_verify_corrupt_binary_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.rct"
+        main(["export", "--scale", "tiny", "--out", str(out)])
+        capsys.readouterr()
+        data = bytearray(out.read_bytes())
+        data[80] ^= 0xFF
+        out.write_bytes(bytes(data))
+        assert main(["verify", str(out)]) == 1
+        assert "checksum" in capsys.readouterr().err
 
     def test_verify_rejects_out_of_order(self, tmp_path, capsys):
         path = tmp_path / "bad.txt"
@@ -48,3 +119,13 @@ class TestVerify:
         path = tmp_path / "empty.txt"
         path.write_text("# only comments\n")
         assert main(["stats", str(path)]) == 1
+
+
+class TestStatsMalformedInput:
+    def test_stats_out_of_order_text_reports_fail(self, tmp_path, capsys):
+        """stats must degrade to a FAIL message on unordered traces,
+        like verify does — never a raw ValueError traceback."""
+        path = tmp_path / "bad.txt"
+        path.write_text("5.0 0 1 A 2 A\n1.0 1 2 A 3 A\n")
+        assert main(["stats", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err

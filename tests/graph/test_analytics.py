@@ -5,6 +5,8 @@ import math
 import pytest
 
 from repro.graph.analytics import (
+    compute_window_stats,
+    render_window_stats,
     DegreeStats,
     compute_trace_stats,
     degree_distribution,
@@ -95,3 +97,61 @@ class TestTraceStats:
             degree_distribution(small_workload.graph)
         )
         assert 1.5 < exponent < 4.0  # plausible power-law band
+
+
+class TestWindowStats:
+    def make_columnar(self):
+        from repro.graph.columnar import ColumnarLog
+
+        return ColumnarLog([
+            Interaction(0.0, 1, 2, tx_id=0),
+            Interaction(10.0, 2, 3, tx_id=1),
+            Interaction(95.0, 1, 4, tx_id=2),
+            Interaction(205.0, 5, 1, tx_id=3),
+        ])
+
+    def test_counts_and_vertex_growth(self):
+        windows = compute_window_stats(self.make_columnar(), 100.0)
+        assert [w.interactions for w in windows] == [3, 0, 1]
+        assert [w.distinct_vertices for w in windows] == [4, 4, 5]
+        assert [w.new_vertices for w in windows] == [4, 0, 1]
+        assert [w.start_ts for w in windows] == [0.0, 100.0, 200.0]
+
+    def test_empty_log(self):
+        from repro.graph.columnar import ColumnarLog
+
+        assert compute_window_stats(ColumnarLog(), 100.0) == []
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            compute_window_stats(self.make_columnar(), 0.0)
+
+    def test_render_elides_empty_runs(self):
+        windows = compute_window_stats(self.make_columnar(), 10.0)
+        out = render_window_stats(windows, 10.0)
+        assert "empty window(s) elided" in out
+        assert "per-window activity" in out
+
+
+class TestWindowStatsGuards:
+    def test_sub_resolution_window_rejected_not_hung(self):
+        """A window below float resolution at the log's timestamp
+        magnitude must raise, not spin forever."""
+        from repro.graph.columnar import ColumnarLog
+
+        log = ColumnarLog([
+            Interaction(1e9, 1, 2, tx_id=0),
+            Interaction(1e9 + 1.0, 2, 3, tx_id=1),
+        ])
+        with pytest.raises(ValueError, match="too small to advance"):
+            compute_window_stats(log, 1e-13)
+
+    def test_non_finite_span_rejected(self):
+        from repro.graph.columnar import ColumnarLog
+
+        log = ColumnarLog([
+            Interaction(0.0, 1, 2, tx_id=0),
+            Interaction(float("inf"), 2, 3, tx_id=1),
+        ])
+        with pytest.raises(ValueError, match="must be finite"):
+            compute_window_stats(log, 100.0)

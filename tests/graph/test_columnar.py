@@ -125,3 +125,56 @@ class TestWindowing:
         assert clog.index_at(0.0) == 0
         assert clog.index_at(1.0) == 1
         assert clog.index_at(100.0) == 5
+
+
+class TestFromBuffers:
+    def _buffers(self):
+        from array import array
+
+        return dict(
+            timestamps=array("d", [0.0, 1.0, 2.0]),
+            src=array("q", [0, 1, 2]),
+            dst=array("q", [1, 2, 0]),
+            tx=array("q", [0, 0, 1]),
+            src_kind=array("b", [0, 0, 1]),
+            dst_kind=array("b", [0, 1, 0]),
+            vertex_ids=(10, 20, 30),
+        )
+
+    def test_wraps_without_copying(self):
+        bufs = self._buffers()
+        clog = ColumnarLog.from_buffers(**bufs)
+        assert clog.timestamps() is bufs["timestamps"]   # same object: no copy
+        assert len(clog) == 3
+        assert clog[0] == Interaction(0.0, 10, 20, tx_id=0)
+        assert clog[2].src_kind is VertexKind.CONTRACT
+
+    def test_reverse_index_is_lazy_and_correct(self):
+        clog = ColumnarLog.from_buffers(**self._buffers())
+        assert clog._vertex_index is None                # untouched so far
+        assert clog.vertex_index(30) == 2
+        assert clog._vertex_index is not None
+
+    def test_read_only(self):
+        clog = ColumnarLog.from_buffers(**self._buffers())
+        assert not clog.is_writable
+        with pytest.raises(TypeError, match="read-only"):
+            clog.append(Interaction(5.0, 1, 2, tx_id=9))
+        # interning an *existing* vertex is a lookup, not a mutation
+        assert clog.intern(10) == 0
+
+    def test_column_length_mismatch_rejected(self):
+        bufs = self._buffers()
+        from array import array
+
+        bufs["dst"] = array("q", [1, 2])
+        with pytest.raises(ValueError, match="column length mismatch"):
+            ColumnarLog.from_buffers(**bufs)
+
+    def test_identical_across_backings(self):
+        bufs = self._buffers()
+        wrapped = ColumnarLog.from_buffers(**bufs)
+        built = ColumnarLog(wrapped.to_interactions())
+        assert wrapped.identical(built) and built.identical(wrapped)
+        built.append(Interaction(9.0, 99, 10, tx_id=5))
+        assert not wrapped.identical(built)

@@ -32,7 +32,14 @@ class TestFormatParse:
 
     def test_format_fields(self):
         line = format_interaction(sample_interactions()[0])
-        assert line.split() == ["1.000", "10", "1", "A", "2", "A"]
+        assert line.split() == ["1.0", "10", "1", "A", "2", "A"]
+
+    def test_format_full_precision(self):
+        """Timestamps serialize with repr precision: a value with
+        sub-millisecond structure round-trips bit-identically."""
+        it = Interaction(timestamp=1.0000001234567891, src=1, dst=2, tx_id=0)
+        back = parse_interaction(format_interaction(it))
+        assert back.timestamp == it.timestamp  # exact, not %.3f-rounded
 
     def test_parse_wrong_field_count(self):
         with pytest.raises(TraceFormatError, match="expected 6 fields"):
@@ -41,6 +48,14 @@ class TestFormatParse:
     def test_parse_bad_number(self):
         with pytest.raises(TraceFormatError, match="bad numeric"):
             parse_interaction("x 1 2 A 3 A")
+
+    @pytest.mark.parametrize("bad_ts", ["nan", "inf", "-inf", "Infinity"])
+    def test_parse_non_finite_timestamp_rejected(self, bad_ts):
+        """nan/inf parse as floats but would break the log's
+        time-ordering guard downstream with a confusing error."""
+        with pytest.raises(TraceFormatError, match="non-finite timestamp") as e:
+            parse_interaction(f"{bad_ts} 1 2 A 3 A", lineno=7)
+        assert "line 7" in str(e.value)
 
     def test_parse_bad_kind(self):
         with pytest.raises(TraceFormatError, match="A or C"):
@@ -84,13 +99,30 @@ class TestFileRoundTrip:
 
 
 def test_workload_trace_round_trip(tiny_workload, tmp_path):
-    """The full synthetic history survives serialisation unchanged."""
+    """The full synthetic history survives serialisation bit-identically
+    (repr-precision timestamps; ids/kinds exact)."""
     path = tmp_path / "full.txt"
     log = tiny_workload.builder.log
     write_trace(log, str(path))
     back = list(read_trace(str(path)))
-    assert len(back) == len(log)
-    # timestamps are rounded to ms in the format; ids/kinds are exact
-    assert all(a.src == b.src and a.dst == b.dst and a.tx_id == b.tx_id
-               and a.src_kind == b.src_kind and a.dst_kind == b.dst_kind
-               for a, b in zip(back, log))
+    assert back == list(log)
+
+
+class TestContentSniffedCompression:
+    def test_gzipped_trace_without_gz_suffix_reads(self, tmp_path):
+        """Compression is sniffed from the magic, not the extension."""
+        import shutil
+
+        proper = tmp_path / "t.txt.gz"
+        write_trace(sample_interactions(), str(proper))
+        misnamed = tmp_path / "t.dat"
+        shutil.copy(proper, misnamed)
+        assert list(read_trace(str(misnamed))) == sample_interactions()
+
+    def test_binary_junk_raises_trace_format_error(self, tmp_path):
+        """Non-utf-8 bytes surface as TraceFormatError, never a raw
+        UnicodeDecodeError (the CLIs only catch the former)."""
+        junk = tmp_path / "junk.txt"
+        junk.write_bytes(bytes(range(128, 256)) * 8)
+        with pytest.raises(TraceFormatError, match="invalid utf-8"):
+            list(read_trace(str(junk)))
