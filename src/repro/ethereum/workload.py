@@ -39,7 +39,7 @@ from repro.ethereum.state import WorldState
 from repro.ethereum.trace import TransactionTrace
 from repro.ethereum.transaction import Transaction
 from repro.ethereum.types import Address, Wei
-from repro.graph.builder import GraphBuilder
+from repro.graph.builder import GraphBuilder, Interaction
 from repro.graph.snapshot import DAY, HOUR
 
 
@@ -118,6 +118,19 @@ class WorkloadConfig:
         """~24k transactions, 8-hour steps — the default for figures."""
         return cls(seed=seed, total_transactions=24_000, step_hours=8.0)
 
+    @classmethod
+    def large(cls, seed: int = 42) -> "WorkloadConfig":
+        """~2M transactions, 1-hour steps — the Ethereum-scale export
+        tier (multi-million interaction rows over the full timeline).
+
+        This tier exists to *emit traces*, not to hold a log in
+        memory: drive it through
+        :func:`repro.ethereum.export.export_workload_trace`, which
+        streams interactions into a chunked rctrace writer instead of
+        boxing them in a :class:`~repro.graph.builder.GraphBuilder`.
+        """
+        return cls(seed=seed, total_transactions=2_000_000, step_hours=1.0)
+
     def mixture(self) -> Dict[str, float]:
         """Normalised transaction-type mixture for normal periods."""
         raw = {
@@ -188,13 +201,28 @@ _HUB_PROGRAMS = {
 
 
 class WorkloadGenerator:
-    """Drives the chain to produce the synthetic history."""
+    """Drives the chain to produce the synthetic history.
 
-    def __init__(self, config: WorkloadConfig):
+    ``interaction_sink`` redirects the generated interaction stream:
+    when set, every interaction is handed to the callable (in time
+    order) *instead of* being accumulated in :attr:`builder`, so the
+    generator runs in bounded memory — chain state and community
+    registries only, no boxed log, no cumulative graph.  The stream is
+    identical either way: the sink replaces only the storage, never
+    the RNG-driven generation path.  This is the Ethereum-scale trace
+    ingestion hook (:func:`repro.ethereum.export.export_workload_trace`).
+    """
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        interaction_sink: Optional[Callable[[Interaction], None]] = None,
+    ):
         self.config = config
         self.rng = random.Random(config.seed)
         self.state = WorldState()
         self.builder = GraphBuilder()
+        self._interaction_sink = interaction_sink
         self.chain = Blockchain(
             self.state, trace_sink=self._on_trace, keep_traces=False
         )
@@ -329,8 +357,12 @@ class WorkloadGenerator:
     # trace sink
 
     def _on_trace(self, trace: TransactionTrace) -> None:
+        sink = self._interaction_sink
         for interaction in trace.to_interactions():
-            self.builder.add(interaction)
+            if sink is not None:
+                sink(interaction)
+            else:
+                self.builder.add(interaction)
             for endpoint in (interaction.src, interaction.dst):
                 comm_idx = self.community_of.get(endpoint)
                 if comm_idx is not None:

@@ -9,9 +9,11 @@ the origin of the log explicit and serializable:
 * :class:`SyntheticSource` — a named workload scale plus generator
   seed; :meth:`~SyntheticSource.load` runs the calibrated generator
   (:mod:`repro.ethereum.workload`).
-* :class:`TraceSource` — a trace file (text v1 or binary rctrace v2,
-  sniffed); :meth:`~TraceSource.load` memory-maps binary traces into a
-  zero-copy :class:`~repro.graph.columnar.ColumnarLog`, so opening the
+* :class:`TraceSource` — a trace file (text v1 or binary rctrace
+  v2/v3, version-agnostically sniffed); :meth:`~TraceSource.load`
+  memory-maps binary traces into a
+  :class:`~repro.graph.columnar.ColumnarLog` (zero-copy for v2,
+  per-section streaming decode for compressed v3), so opening the
   log is O(1) instead of O(history).  Being a small picklable value,
   a ``TraceSource`` travels to worker processes which open the mmap
   *themselves* — parallel sweeps no longer depend on ``fork``
@@ -34,7 +36,9 @@ from typing import Any, Dict, Union
 from repro.ethereum.workload import WorkloadConfig, WorkloadResult
 
 #: Named workload scales; values are WorkloadConfig factory names.
-SCALES = ("tiny", "small", "medium", "default")
+#: ``large`` is the Ethereum-scale export tier (multi-million rows) —
+#: sweep it from an exported trace, not by regenerating per process.
+SCALES = ("tiny", "small", "medium", "large", "default")
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -47,6 +51,8 @@ def config_for_scale(scale: str, seed: int) -> WorkloadConfig:
         return WorkloadConfig.small(seed)
     if scale == "medium":
         return WorkloadConfig.medium(seed)
+    if scale == "large":
+        return WorkloadConfig.large(seed)
     if scale == "default":
         return WorkloadConfig(seed=seed)
     raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
@@ -116,7 +122,7 @@ class SyntheticSource(LogSource):
 
 @dataclasses.dataclass(frozen=True)
 class TraceSource(LogSource):
-    """A trace file on disk (text v1 or binary rctrace v2)."""
+    """A trace file on disk (text v1 or binary rctrace v2/v3)."""
 
     path: str
     kind = "trace"

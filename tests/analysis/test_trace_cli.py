@@ -46,7 +46,7 @@ class TestConvert:
         main(["export", "--scale", "tiny", "--seed", "3", "--out", str(text)])
         binary = tmp_path / "t.rct"
         assert main(["convert", str(text), str(binary)]) == 0
-        assert "[text] -> " in capsys.readouterr().out
+        assert "[text v1] -> " in capsys.readouterr().out
         back = tmp_path / "back.txt"
         assert main(["convert", str(binary), str(back)]) == 0
         assert load_trace_log(back).identical(load_trace_log(text))

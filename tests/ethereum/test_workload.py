@@ -156,3 +156,49 @@ class TestCalibration:
             else:
                 inter += 1
         assert intra > 2 * inter
+
+
+class TestLargeTierAndStreamingExport:
+    def test_large_scale_config(self):
+        cfg = WorkloadConfig.large(seed=9)
+        assert cfg.seed == 9
+        assert cfg.total_transactions >= 1_000_000   # multi-million-row tier
+        assert cfg.step_hours <= 2.0
+
+    def test_config_for_scale_knows_large(self):
+        from repro.experiments.source import SCALES, config_for_scale
+
+        assert "large" in SCALES
+        assert config_for_scale("large", 5) == WorkloadConfig.large(5)
+
+    def test_interaction_sink_sees_the_exact_builder_stream(self):
+        """The sink hook must only redirect storage: same interactions,
+        same order, no boxed log left behind."""
+        cfg = WorkloadConfig.tiny(seed=11)
+        baseline = WorkloadGenerator(cfg).run()
+
+        streamed = []
+        gen = WorkloadGenerator(cfg, interaction_sink=streamed.append)
+        gen.run()
+        assert streamed == list(baseline.builder.log)
+        assert len(gen.builder.log) == 0          # nothing accumulated
+        assert gen.builder.graph.num_vertices == 0
+
+    def test_export_workload_trace_matches_in_memory_write(self, tmp_path):
+        from repro.ethereum.export import export_workload_trace
+        from repro.graph.columnar import ColumnarLog
+        from repro.graph.io import load_columnar, write_columnar
+
+        cfg = WorkloadConfig.tiny(seed=11)
+        streamed = tmp_path / "stream.rct"
+        result = export_workload_trace(cfg, streamed, version=3,
+                                       chunk_rows=64)
+        boxed = tmp_path / "boxed.rct"
+        log = ColumnarLog(WorkloadGenerator(cfg).run().builder.log)
+        write_columnar(log, boxed, version=3)
+        assert streamed.read_bytes() == boxed.read_bytes()
+        assert result.rows == len(log)
+        assert result.vertices == log.num_vertices
+        assert result.transactions == 600
+        assert result.file_bytes == streamed.stat().st_size
+        assert load_columnar(streamed).identical(log)

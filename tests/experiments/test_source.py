@@ -265,3 +265,31 @@ class TestTracePathPinning:
         monkeypatch.chdir(trace_file.parent.parent)
         assert src.identity == pinned
         assert len(src.load()) > 0            # loads from anywhere
+
+
+class TestV3TraceSource:
+    """Version-agnostic sniffing: a compressed v3 trace behaves exactly
+    like its v2 twin behind TraceSource / ExperimentSpec."""
+
+    @pytest.fixture(scope="class")
+    def v3_trace_file(self, tiny_workload, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "tiny_v3.rct"
+        write_columnar(ColumnarLog(tiny_workload.builder.log), path, version=3)
+        return path
+
+    def test_v3_loads_identical_to_v2(self, trace_file, v3_trace_file):
+        v2_log = TraceSource(path=str(trace_file)).load()
+        v3_log = TraceSource(path=str(v3_trace_file)).load()
+        assert v3_log.identical(v2_log)
+
+    def test_v3_is_smaller_than_v2(self, trace_file, v3_trace_file):
+        assert v3_trace_file.stat().st_size < trace_file.stat().st_size
+
+    def test_v3_sweep_is_cell_identical_to_synthetic(self, v3_trace_file,
+                                                     synthetic_rs):
+        spec = ExperimentSpec(source=str(v3_trace_file),
+                              methods=METHODS, ks=(2, 4))
+        rs = run_experiment(spec)
+        assert set(rs.keys()) == set(synthetic_rs.keys())
+        for key in synthetic_rs.keys():
+            assert rs.cell(key) == synthetic_rs.cell(key)

@@ -302,3 +302,125 @@ class TestLoadTraceLogErrors:
         path.write_text("5.0 0 1 A 2 A\n1.0 1 2 A 3 A\n")
         with pytest.raises(TraceFormatError, match="out-of-order"):
             load_trace_log(path)
+
+
+class TestV3Format:
+    """rctrace v3: compressed columns behind the same header contract."""
+
+    def test_round_trip_and_version_sniffing(self, tmp_path):
+        from repro.graph.io import TRACE_MAGIC_V3, trace_version
+
+        path = tmp_path / "t3.rct"
+        assert write_columnar(sample_log(), path, version=3) == 5
+        assert path.read_bytes()[:8] == TRACE_MAGIC_V3
+        assert trace_format(path) == "binary"
+        assert trace_version(path) == 3
+        back = load_columnar(path)
+        assert back.identical(sample_log())
+        assert not back.is_writable
+        assert back.vertex_index(30) == 2     # lazy reverse index
+
+    def test_workload_round_trip_and_compression(self, tiny_workload, tmp_path):
+        """The full synthetic history survives v3 bit-identically and
+        compresses well below its v2 byte size."""
+        log = ColumnarLog(tiny_workload.builder.log)
+        v2, v3 = tmp_path / "t2.rct", tmp_path / "t3.rct"
+        write_columnar(log, v2, version=2)
+        write_columnar(log, v3, version=3)
+        assert load_columnar(v3).identical(log)
+        ratio = v3.stat().st_size / v2.stat().st_size
+        assert ratio <= 0.6, f"v3/v2 ratio {ratio:.3f} misses the 0.6 gate"
+
+    def test_gzip_v3_round_trip(self, tmp_path):
+        path = tmp_path / "t3.rct.gz"
+        write_columnar(sample_log(), path, version=3)
+        with open(path, "rb") as f:
+            assert f.read(2) == b"\x1f\x8b"
+        assert load_columnar(path).identical(sample_log())
+        assert trace_format(path) == "binary"
+
+    def test_convert_v2_to_v3_and_back(self, tmp_path):
+        v2, v3, back = tmp_path / "a.rct", tmp_path / "b.rct", tmp_path / "c.rct"
+        write_columnar(sample_log(), v2, version=2)
+        assert convert_trace(v2, v3, fmt="v3") == 5
+        assert convert_trace(v3, back, fmt="v2") == 5
+        assert back.read_bytes() == v2.read_bytes()
+
+    def test_out_of_order_v3_rejected_on_verify(self, tmp_path):
+        """verify re-checks time ordering after decode, as for v2.
+        (from_buffers skips the builder's incremental guard, so an
+        unordered log can be written; the loader must still catch it.)"""
+        log = sample_log()
+        unordered = ColumnarLog.from_buffers(
+            timestamps=[5.0, 1.0],
+            src=[0, 1], dst=[1, 0], tx=[0, 1],
+            src_kind=[0, 0], dst_kind=[0, 0],
+            vertex_ids=[10, 20],
+        )
+        path = tmp_path / "t.rct"
+        write_columnar(unordered, path, version=3)
+        with pytest.raises(TraceFormatError, match="out-of-order timestamp"):
+            load_columnar(path)
+        assert len(load_columnar(path, verify=False)) == 2
+        del log
+
+    def test_write_rejects_unknown_version(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported rctrace version"):
+            write_columnar(sample_log(), tmp_path / "t.rct", version=7)
+
+    def test_chunked_writer_rejects_gz_and_bad_chunk(self, tmp_path):
+        from repro.graph.io import ChunkedTraceWriter
+
+        with pytest.raises(ValueError, match="mappable"):
+            ChunkedTraceWriter(tmp_path / "t.rct.gz")
+        with pytest.raises(ValueError, match="chunk_rows"):
+            ChunkedTraceWriter(tmp_path / "t.rct", chunk_rows=0)
+
+    def test_chunked_writer_rejects_out_of_order(self, tmp_path):
+        from repro.graph.io import ChunkedTraceWriter
+
+        with ChunkedTraceWriter(tmp_path / "t.rct") as w:
+            w.append(Interaction(5.0, 1, 2, tx_id=0))
+            with pytest.raises(ValueError, match="out-of-order"):
+                w.append(Interaction(1.0, 2, 3, tx_id=1))
+            w.abort()
+
+    def test_chunked_writer_abort_leaves_no_file(self, tmp_path):
+        from repro.graph.io import ChunkedTraceWriter
+
+        path = tmp_path / "t.rct"
+        try:
+            with ChunkedTraceWriter(path) as w:
+                w.append(Interaction(0.0, 1, 2, tx_id=0))
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []   # spill dir cleaned up
+
+
+class TestUnknownFormatSniffing:
+    def test_unknown_rctrace_magic_is_named_in_the_error(self, tmp_path):
+        """A future/bogus RCTRACE version must be rejected with the
+        sniffed magic bytes, not a line-1 utf-8 parse failure."""
+        path = tmp_path / "t.rct"
+        path.write_bytes(b"RCTRACE9" + b"\x00" * 120)
+        with pytest.raises(TraceFormatError, match=r"RCTRACE9"):
+            load_trace_log(path)
+
+    def test_binary_junk_reports_sniffed_magic(self, tmp_path):
+        path = tmp_path / "junk.rct"
+        path.write_bytes(b"\x00\x01\x02\x03PK\x05\x06" + b"\xff" * 64)
+        with pytest.raises(TraceFormatError, match="sniffed magic bytes"):
+            load_trace_log(path)
+
+    def test_explicit_binary_fmt_still_names_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.rct"
+        path.write_bytes(b"NOTTRACE" + b"\x00" * 120)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            load_trace_log(path, fmt="binary")
+
+    def test_plain_text_still_parses_as_text(self, tmp_path):
+        path = tmp_path / "t.dat"
+        write_trace(sample_log(), path)
+        assert load_trace_log(path).identical(sample_log())

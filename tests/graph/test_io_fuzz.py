@@ -1,0 +1,315 @@
+"""Corrupt-trace fuzzing: flips and truncations must fail loudly.
+
+The binary readers' contract for *any* malformed input is a
+:class:`TraceFormatError` that names the file (and, where one is
+identifiable, the offending section) — never a raw ``struct`` /
+``Index`` / ``Overflow`` error, never an infinite decode loop, and
+never a silent load of corrupt bytes.  This suite drives that contract
+mechanically over valid v2 and v3 files: seeded single-byte flips and
+truncations at (and around) every section boundary, plus seeded
+random offsets across the whole file.
+
+Every byte of both formats is covered by some validator — header
+fields are checked individually (magic, version, header size, counts,
+payload length, reserved-zero) and the crc32 covers the entire
+payload (v3: section table + stored sections) — so a flip anywhere
+must surface.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.graph.builder import Interaction
+from repro.graph.columnar import ColumnarLog
+from repro.graph.digraph import VertexKind
+from repro.graph.io import (
+    _SECTION_ENTRY,
+    _V3_SECTIONS,
+    load_columnar,
+    write_columnar,
+)
+
+_FLIP_SEED = 0xC0FFEE
+_RANDOM_OFFSETS = 48
+
+
+def _sample_log() -> ColumnarLog:
+    """~90 rows with duplicate timestamps, self-loops, mixed kinds and
+    enough vertices that every v3 section is non-trivially encoded."""
+    rng = random.Random(7)
+    interactions = []
+    ts = 0.0
+    for i in range(90):
+        if rng.random() < 0.6:
+            ts += rng.random() * 3600.0
+        src, dst = rng.randrange(40), rng.randrange(40)
+        interactions.append(Interaction(
+            timestamp=ts,
+            src=src * 7919,
+            dst=dst * 7919,
+            src_kind=VertexKind.CONTRACT if src % 3 == 0 else VertexKind.ACCOUNT,
+            dst_kind=VertexKind.CONTRACT if dst % 5 == 0 else VertexKind.ACCOUNT,
+            tx_id=i // 2,
+        ))
+    return ColumnarLog(interactions)
+
+
+def _v2_boundaries(data: bytes) -> list:
+    """Every v2 header-field and section start offset."""
+    n_rows, n_vertices = struct.unpack_from("<QQ", data, 16)
+    bounds = [0, 8, 12, 16, 24, 32, 40, 44, 64]
+    offset = 64 + n_vertices * 8
+    bounds.append(offset)
+    for size in (8, 8, 8, 8, 1, 1):
+        offset += n_rows * size
+        bounds.append(offset)
+    assert offset == len(data)
+    return bounds
+
+
+def _v3_boundaries(data: bytes) -> list:
+    """Header fields, every section-table entry, every section start."""
+    bounds = [0, 8, 12, 16, 24, 32, 40, 44]
+    table_at = 64
+    bounds.extend(table_at + i * _SECTION_ENTRY.size
+                  for i in range(len(_V3_SECTIONS)))
+    offset = table_at + _SECTION_ENTRY.size * len(_V3_SECTIONS)
+    bounds.append(offset)
+    for i in range(len(_V3_SECTIONS)):
+        _tag, _flags, _rsv, stored = _SECTION_ENTRY.unpack_from(
+            data, table_at + i * _SECTION_ENTRY.size
+        )
+        offset += stored
+        bounds.append(offset)
+    assert offset == len(data)
+    return bounds
+
+
+@pytest.fixture(scope="module", params=(2, 3), ids=("v2", "v3"))
+def trace_bytes(request, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / f"trace_v{request.param}.rct"
+    write_columnar(_sample_log(), path, version=request.param)
+    data = path.read_bytes()
+    bounds = (_v2_boundaries if request.param == 2 else _v3_boundaries)(data)
+    return request.param, data, bounds
+
+
+def _offsets_under_test(data: bytes, bounds) -> list:
+    rng = random.Random(_FLIP_SEED)
+    offsets = set()
+    for b in bounds:
+        offsets.update(o for o in (b - 1, b, b + 1) if 0 <= o < len(data))
+    offsets.update(rng.randrange(len(data)) for _ in range(_RANDOM_OFFSETS))
+    return sorted(offsets)
+
+
+def _assert_rejected(path, original: bytes, mutated: bytes, what: str):
+    assert mutated != original
+    path.write_bytes(mutated)
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_columnar(path)
+    # the error must name the file it rejected, not be a bare message
+    assert path.name in str(excinfo.value), (
+        f"{what}: error does not name the file: {excinfo.value}"
+    )
+
+
+def test_single_byte_flips_never_load(trace_bytes, tmp_path):
+    version, data, bounds = trace_bytes
+    path = tmp_path / "bad.rct"
+    for offset in _offsets_under_test(data, bounds):
+        mutated = bytearray(data)
+        mutated[offset] ^= 0xFF
+        _assert_rejected(path, data, bytes(mutated),
+                         f"v{version} flip at byte {offset}")
+
+
+def test_truncations_at_every_boundary_never_load(trace_bytes, tmp_path):
+    version, data, bounds = trace_bytes
+    path = tmp_path / "bad.rct"
+    rng = random.Random(_FLIP_SEED)
+    cuts = {c for b in bounds for c in (b - 1, b, b + 1) if 0 <= c < len(data)}
+    cuts.update(rng.randrange(len(data)) for _ in range(_RANDOM_OFFSETS))
+    for cut in sorted(cuts):
+        _assert_rejected(path, data, data[:cut],
+                         f"v{version} truncation to {cut} bytes")
+
+
+def test_exact_section_boundary_truncations_name_the_damage(trace_bytes,
+                                                            tmp_path):
+    """A clean cut at a section boundary is structurally a short
+    payload; the error must say so (length/truncation vocabulary),
+    not fail somewhere downstream."""
+    version, data, bounds = trace_bytes
+    path = tmp_path / "bad.rct"
+    for cut in bounds:
+        if cut in (0, len(data)):
+            continue
+        path.write_bytes(data[:cut])
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_columnar(path)
+        message = str(excinfo.value)
+        assert any(word in message for word in
+                   ("truncated", "shorter", "payload length")), (
+            f"v{version} cut at {cut}: unexpected error: {message}"
+        )
+
+
+def test_extra_trailing_bytes_never_load(trace_bytes, tmp_path):
+    version, data, _bounds = trace_bytes
+    path = tmp_path / "bad.rct"
+    for extra in (b"\0", b"garbage-on-the-end"):
+        _assert_rejected(path, data, data + extra,
+                         f"v{version} +{len(extra)} trailing bytes")
+
+
+def test_v3_section_table_lies_are_caught(trace_bytes, tmp_path):
+    """Rewriting a stored-length or tag field (with a refreshed crc,
+    so the checksum cannot save us) must still be rejected by the
+    structural decoders with an error naming the section."""
+    import zlib
+
+    version, data, _bounds = trace_bytes
+    if version != 3:
+        pytest.skip("v3 section table only")
+    path = tmp_path / "bad.rct"
+    first_entry = 64
+
+    def rewrite(mutator):
+        mutated = bytearray(data)
+        mutator(mutated)
+        crc = zlib.crc32(bytes(mutated[64:]))
+        mutated[40:44] = struct.pack("<I", crc)
+        path.write_bytes(bytes(mutated))
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_columnar(path)
+        return str(excinfo.value)
+
+    # stored length that disagrees with the payload size
+    tag, flags, rsv, stored = _SECTION_ENTRY.unpack_from(data, first_entry)
+    msg = rewrite(lambda d: d.__setitem__(
+        slice(first_entry, first_entry + _SECTION_ENTRY.size),
+        _SECTION_ENTRY.pack(tag, flags, rsv, stored + 5),
+    ))
+    assert "section table" in msg or "section" in msg
+
+    # an encoding tag that is not valid for the section
+    msg = rewrite(lambda d: d.__setitem__(
+        slice(first_entry, first_entry + _SECTION_ENTRY.size),
+        _SECTION_ENTRY.pack(99, flags, rsv, stored),
+    ))
+    assert "vertex_ids" in msg and "tag" in msg
+
+    # unknown flag bits
+    msg = rewrite(lambda d: d.__setitem__(
+        slice(first_entry, first_entry + _SECTION_ENTRY.size),
+        _SECTION_ENTRY.pack(tag, 0x80, rsv, stored),
+    ))
+    assert "flag" in msg
+
+
+def _shrink_section_by_one(data: bytearray, section_index: int) -> bytearray:
+    """Cut the last byte out of one section, patching the table entry,
+    payload length and crc so only the structural decoders can object."""
+    import zlib
+
+    entry_at = 64 + section_index * _SECTION_ENTRY.size
+    tag, flags, rsv, stored = _SECTION_ENTRY.unpack_from(data, entry_at)
+    assert stored > 0
+    section_at = 64 + _SECTION_ENTRY.size * len(_V3_SECTIONS)
+    for i in range(section_index):
+        section_at += _SECTION_ENTRY.unpack_from(
+            data, 64 + i * _SECTION_ENTRY.size
+        )[3]
+    data[entry_at:entry_at + _SECTION_ENTRY.size] = _SECTION_ENTRY.pack(
+        tag, flags, rsv, stored - 1
+    )
+    del data[section_at + stored - 1]
+    payload = struct.unpack_from("<Q", data, 32)[0]
+    struct.pack_into("<Q", data, 32, payload - 1)
+    data[40:44] = struct.pack("<I", zlib.crc32(bytes(data[64:])))
+    return data
+
+
+def test_v3_corrupt_raw_section_is_structural_error(tmp_path):
+    """A raw section whose stored length disagrees with the row count
+    (crc refreshed) raises the section-naming length error."""
+    path = tmp_path / "t.rct"
+    write_columnar(_sample_log(), path, version=3, compress=False)
+    data = _shrink_section_by_one(
+        bytearray(path.read_bytes()), len(_V3_SECTIONS) - 1
+    )
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError, match="dst_kind"):
+        load_columnar(path)
+
+
+def test_v3_truncated_varint_stream_is_structural_error(tmp_path):
+    """A varint stream cut mid-value (crc refreshed) must raise the
+    section-naming truncation error, never hang or IndexError."""
+    path = tmp_path / "t.rct"
+    write_columnar(_sample_log(), path, version=3, compress=False)
+    tx_index = [name for name, *_ in _V3_SECTIONS].index("tx")
+    data = _shrink_section_by_one(bytearray(path.read_bytes()), tx_index)
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError, match="tx section"):
+        load_columnar(path)
+
+
+def _reframe_section(data: bytearray, section_index: int,
+                     body: bytes, flags: int) -> bytearray:
+    """Swap one section's stored bytes (and flags), re-truing the
+    table entry, payload length and crc — only decoders can object."""
+    import zlib
+
+    entry_at = 64 + section_index * _SECTION_ENTRY.size
+    tag, _flags, rsv, stored = _SECTION_ENTRY.unpack_from(data, entry_at)
+    section_at = 64 + _SECTION_ENTRY.size * len(_V3_SECTIONS)
+    for i in range(section_index):
+        section_at += _SECTION_ENTRY.unpack_from(
+            data, 64 + i * _SECTION_ENTRY.size
+        )[3]
+    data[entry_at:entry_at + _SECTION_ENTRY.size] = _SECTION_ENTRY.pack(
+        tag, flags, rsv, len(body)
+    )
+    data[section_at:section_at + stored] = body
+    payload = struct.unpack_from("<Q", data, 32)[0]
+    struct.pack_into("<Q", data, 32, payload - stored + len(body))
+    data[40:44] = struct.pack("<I", zlib.crc32(bytes(data[64:])))
+    return data
+
+
+def test_v3_zlib_bomb_is_rejected_before_it_inflates(tmp_path):
+    """A section framing that decompresses far past what its row count
+    could occupy must be rejected by the bounded inflater, not
+    ballooned into memory first."""
+    import zlib
+
+    path = tmp_path / "t.rct"
+    write_columnar(_sample_log(), path, version=3, compress=False)
+    bomb = zlib.compress(b"\x00" * 50_000_000, 9)   # ~48KB -> 50MB
+    last = len(_V3_SECTIONS) - 1                     # dst_kind (raw tag)
+    data = _reframe_section(bytearray(path.read_bytes()), last, bomb, 0x01)
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError, match="inflates past"):
+        load_columnar(path)
+
+
+def test_v3_truncated_zlib_stream_is_rejected(tmp_path):
+    import zlib
+
+    path = tmp_path / "t.rct"
+    write_columnar(_sample_log(), path, version=3, compress=False)
+    rows = len(_sample_log())
+    good = zlib.compress(bytes(rows), 6)
+    last = len(_V3_SECTIONS) - 1
+    data = _reframe_section(
+        bytearray(path.read_bytes()), last, good[:-3], 0x01
+    )
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError,
+                       match="dst_kind.*(truncated|corrupt)"):
+        load_columnar(path)
