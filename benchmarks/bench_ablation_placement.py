@@ -19,14 +19,14 @@ from repro.graph.snapshot import HOUR
 K = 4
 
 
-class HashPlacedRMetis(RMetisPartitioner):
+class HashPlacedRMetis(RMetisPartitioner):  # reprolint: disable=RL008 -- ablation-only variant, constructed directly by the benchmark
     name = "r-metis+hash-place"
 
     def place_vertex(self, vertex, tx_endpoints, assignment):
         return place_by_hash(vertex, self.k)
 
 
-class RandomPlacedRMetis(RMetisPartitioner):
+class RandomPlacedRMetis(RMetisPartitioner):  # reprolint: disable=RL008 -- ablation-only variant, constructed directly by the benchmark
     name = "r-metis+random-place"
 
     def place_vertex(self, vertex, tx_endpoints, assignment):

@@ -27,7 +27,7 @@ def log_of(pairs, step=1.0, per_tx=1):
     return out
 
 
-class StaticMethod(PartitionMethod):
+class StaticMethod(PartitionMethod):  # reprolint: disable=RL008 -- test-local fixture method, never spec-reachable
     name = "static-test"
 
     def place_vertex(self, vertex, tx_endpoints, assignment):
@@ -37,7 +37,7 @@ class StaticMethod(PartitionMethod):
         return None
 
 
-class RepartitionAfter(PartitionMethod):
+class RepartitionAfter(PartitionMethod):  # reprolint: disable=RL008 -- test-local fixture method, never spec-reachable
     """Fires a fixed proposal at the first window closing after ``after``."""
 
     name = "after-test"

@@ -19,7 +19,7 @@ def log_of(pairs, step=1.0, per_tx=1):
     return out
 
 
-class StaticMethod(PartitionMethod):
+class StaticMethod(PartitionMethod):  # reprolint: disable=RL008 -- test-local fixture method, never spec-reachable
     """Places everything on shard (vertex mod k); never repartitions."""
 
     name = "static-test"
@@ -31,7 +31,7 @@ class StaticMethod(PartitionMethod):
         return None
 
 
-class OneShotRepartition(PartitionMethod):
+class OneShotRepartition(PartitionMethod):  # reprolint: disable=RL008 -- test-local fixture method, never spec-reachable
     """Returns a fixed proposal exactly once, at the first opportunity."""
 
     name = "oneshot-test"

@@ -28,7 +28,7 @@ def interaction_logs(draw):
     ]
 
 
-class ChaoticMethod(PartitionMethod):
+class ChaoticMethod(PartitionMethod):  # reprolint: disable=RL008 -- property-test stressor, never spec-reachable
     """Repartitions every window with a random proposal over seen
     vertices — a worst-case stress for engine bookkeeping."""
 

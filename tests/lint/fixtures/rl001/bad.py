@@ -1,0 +1,17 @@
+"""RL001 fixture: module-global RNG use (intentional violations)."""
+
+import random
+from random import shuffle
+
+
+def jitter():
+    return random.random()  # expect: RL001
+
+
+def pick_first(xs):
+    shuffle(xs)  # expect: RL001
+    return xs[0]
+
+
+def make_rng():
+    return random.Random()  # expect: RL001

@@ -1,0 +1,12 @@
+"""RL001 fixture: seeded, injected randomness (clean)."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def pick_first(xs, rng):
+    rng.shuffle(xs)
+    return xs[0]

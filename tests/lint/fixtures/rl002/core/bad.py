@@ -1,0 +1,8 @@
+"""RL002 fixture: hash-ordered set iteration in a scoped module."""
+
+
+def place_all(edges, place):
+    targets = {dst for _, dst in edges}
+    for v in targets:  # expect: RL002
+        place(v)
+    return [place(src) for src in {s for s, _ in edges}]  # expect: RL002

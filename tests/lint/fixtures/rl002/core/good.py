@@ -1,0 +1,9 @@
+"""RL002 fixture: deterministic iteration over sorted sets (clean)."""
+
+
+def place_all(edges, place):
+    targets = {dst for _, dst in edges}
+    for v in sorted(targets):
+        place(v)
+    # a comprehension consumed directly by sorted() is order-insensitive
+    return sorted(place(s) for s in {s for s, _ in edges})

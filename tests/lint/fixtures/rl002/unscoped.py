@@ -1,0 +1,7 @@
+"""RL002 fixture: same pattern outside core/metis/experiments — not scoped."""
+
+
+def place_all(edges, place):
+    targets = {dst for _, dst in edges}
+    for v in targets:
+        place(v)

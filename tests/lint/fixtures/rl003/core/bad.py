@@ -1,0 +1,13 @@
+"""RL003 fixture: wall-clock reads inside replay-scoped code."""
+
+import time
+from datetime import datetime
+
+
+def window_cutoff():
+    return time.time() - 3600.0  # expect: RL003
+
+
+def stamp_result(result):
+    result["at"] = datetime.now()  # expect: RL003
+    return result

@@ -1,0 +1,13 @@
+"""RL003 fixture: trace-derived time and perf_counter durations (clean)."""
+
+import time
+
+
+def window_cutoff(log):
+    return log.last_timestamp() - 3600.0
+
+
+def measure(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,10 @@
+"""RL004 fixture: exact float comparison in metrics code."""
+
+
+def is_perfectly_balanced(weights):
+    balance = max(weights) / (sum(weights) / len(weights))
+    return balance == 1.0  # expect: RL004
+
+
+def same_ratio(a, b, total):
+    return a / total != b / total  # expect: RL004

@@ -1,0 +1,12 @@
+"""RL004 fixture: tolerance-based float comparison (clean)."""
+
+import math
+
+
+def is_perfectly_balanced(weights):
+    balance = max(weights) / (sum(weights) / len(weights))
+    return math.isclose(balance, 1.0)
+
+
+def same_count(a, b):
+    return a == b

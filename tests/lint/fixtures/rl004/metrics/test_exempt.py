@@ -1,0 +1,5 @@
+"""RL004 fixture: test_ files assert bit-identity on purpose — exempt."""
+
+
+def test_bit_identity():
+    assert 0.1 + 0.2 != 0.3

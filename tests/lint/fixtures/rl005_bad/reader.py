@@ -1,0 +1,13 @@
+"""RL005 fixture (bad): reader-side v2 table drifted from the writer.
+
+The ``src`` row declares typecode ``i``/4 bytes where the v3 table
+(in writer.py) declares ``q``/8 — a lossy v2<->v3 conversion.
+"""
+
+_ENC_NAMES = {0: "raw", 1: "uvarint", 2: "delta"}
+
+_ROW_SECTIONS = (  # expect: RL005
+    ("timestamps", "d", 8),
+    ("src", "i", 4),
+    ("dst", "q", 8),
+)

@@ -1,0 +1,24 @@
+"""RL005 fixture (bad): writer-side constants that drifted.
+
+The header struct lost a Q (56 bytes instead of the 64-byte
+contract), and two encoding tags collide.
+"""
+
+import struct
+
+MAGIC = b"rctrace\x00"
+
+_HEADER = struct.Struct("<8sIIQQI20s")  # expect: RL005
+_SECTION_ENTRY = struct.Struct("<BBHQ")
+
+ENC_RAW = 0
+ENC_UVARINT = 1
+ENC_DELTA = 2
+ENC_FLOAT_DELTA = 2  # expect: RL005
+
+_V3_SECTIONS = (
+    ("timestamps", "d", 8, (0, 2), 0),
+    ("src", "q", 8, (0, 1), 0),
+    ("dst", "q", 8, (0, 1), 0),
+    ("vertex_ids", "q", 8, (0, 1), 0),
+)

@@ -1,0 +1,9 @@
+"""RL005 fixture (good): reader-side tables consistent with writer.py."""
+
+_ENC_NAMES = {0: "raw", 1: "uvarint", 2: "delta", 3: "float-delta"}
+
+_ROW_SECTIONS = (
+    ("timestamps", "d", 8),
+    ("src", "q", 8),
+    ("dst", "q", 8),
+)

@@ -1,0 +1,20 @@
+"""RL005 fixture (good): writer-side constants honouring the contract."""
+
+import struct
+
+MAGIC = b"rctrace\x00"
+
+_HEADER = struct.Struct("<8sIIQQQI20s")
+_SECTION_ENTRY = struct.Struct("<BBHQ")
+
+ENC_RAW = 0
+ENC_UVARINT = 1
+ENC_DELTA = 2
+ENC_FLOAT_DELTA = 3
+
+_V3_SECTIONS = (
+    ("timestamps", "d", 8, (0, 3), 0),
+    ("src", "q", 8, (0, 1, 2), 0),
+    ("dst", "q", 8, (0, 1, 2), 0),
+    ("vertex_ids", "q", 8, (0, 2), 0),
+)

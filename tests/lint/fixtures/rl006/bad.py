@@ -1,0 +1,11 @@
+"""RL006 fixture: mutable default arguments."""
+
+
+def extend(base, extras=[]):  # expect: RL006
+    return base + extras
+
+
+def group(rows, acc=dict()):  # expect: RL006
+    for key, value in rows:
+        acc[key] = value
+    return acc

@@ -1,0 +1,13 @@
+"""RL006 fixture: None sentinel defaults (clean)."""
+
+
+def extend(base, extras=None):
+    return base + (extras or [])
+
+
+def group(rows, acc=None):
+    if acc is None:
+        acc = {}
+    for key, value in rows:
+        acc[key] = value
+    return acc

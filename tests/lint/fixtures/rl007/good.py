@@ -1,0 +1,15 @@
+"""RL007 fixture: specific excepts, or broad-with-re-raise (clean)."""
+
+
+def load_or_none(path, loader):
+    try:
+        return loader(path)
+    except (OSError, ValueError):
+        return None
+
+
+def run_wrapped(step):
+    try:
+        step()
+    except Exception as exc:
+        raise RuntimeError("step failed") from exc

@@ -1,0 +1,14 @@
+"""RL008 fixture (bad): the abstract base — exempt itself."""
+
+import abc
+import random
+
+
+class PartitionMethod(abc.ABC):
+    def __init__(self, k, seed=0):
+        self.k = k
+        self.rng = random.Random(seed)
+
+    @abc.abstractmethod
+    def maybe_repartition(self, ctx):
+        raise NotImplementedError

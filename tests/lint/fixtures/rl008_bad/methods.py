@@ -1,0 +1,35 @@
+"""RL008 fixture (bad): concrete methods with registration defects."""
+
+from rl008_bad.base import PartitionMethod
+
+
+class HashMethod(PartitionMethod):
+    def maybe_repartition(self, ctx):
+        return None
+
+
+class GreedyMethod(PartitionMethod):  # expect: RL008
+    def maybe_repartition(self, ctx):
+        return None
+
+
+class OpaqueMethod(PartitionMethod):  # expect: RL008
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+
+    def maybe_repartition(self, ctx):
+        return None
+
+
+class NoSeedMethod(PartitionMethod):  # expect: RL008
+    def __init__(self, k, gamma=1.5):
+        super().__init__(k)
+        self.gamma = gamma
+
+    def maybe_repartition(self, ctx):
+        return None
+
+
+class RuntimeMethod(PartitionMethod):
+    def maybe_repartition(self, ctx):
+        return None

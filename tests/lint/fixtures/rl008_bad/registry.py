@@ -1,0 +1,21 @@
+"""RL008 fixture (bad): the registry methods.py must be joined against."""
+
+from rl008_bad.methods import (
+    HashMethod,
+    NoSeedMethod,
+    OpaqueMethod,
+    RuntimeMethod,
+)
+
+_FACTORIES = {
+    "hash": HashMethod,
+    "opaque": OpaqueMethod,
+    "noseed": NoSeedMethod,
+}
+
+
+def register_method(name, factory):
+    _FACTORIES[name] = factory
+
+
+register_method("runtime", RuntimeMethod)

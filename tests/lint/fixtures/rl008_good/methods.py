@@ -1,0 +1,23 @@
+"""RL008 fixture (good): every concrete method is registered."""
+
+from rl008_good.base import PartitionMethod
+
+
+class HashMethod(PartitionMethod):
+    def maybe_repartition(self, ctx):
+        return None
+
+
+class GreedyMethod(PartitionMethod):
+    def __init__(self, k, seed=0, gamma=1.5):
+        super().__init__(k, seed)
+        self.gamma = gamma
+
+    def maybe_repartition(self, ctx):
+        return None
+
+
+_FACTORIES = {
+    "hash": HashMethod,
+    "greedy": GreedyMethod,
+}

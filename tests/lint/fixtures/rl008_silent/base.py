@@ -1,0 +1,20 @@
+"""RL008 fixture (silent): a hierarchy with *no* registry in the lint
+set — the rule has nothing to join against and must stay quiet."""
+
+import abc
+import random
+
+
+class PartitionMethod(abc.ABC):
+    def __init__(self, k, seed=0):
+        self.k = k
+        self.rng = random.Random(seed)
+
+    @abc.abstractmethod
+    def maybe_repartition(self, ctx):
+        raise NotImplementedError
+
+
+class OrphanMethod(PartitionMethod):
+    def maybe_repartition(self, ctx):
+        return None

@@ -1,0 +1,19 @@
+"""RL009 fixture: mutation of frozen spec objects."""
+
+from repro.experiments.spec import MethodSpec
+
+
+def widen(spec):
+    object.__setattr__(spec, "scale", "large")  # expect: RL009
+    return spec
+
+
+def retag(spec: MethodSpec):
+    spec.method = "fennel"  # expect: RL009
+    return spec
+
+
+def rebuild():
+    spec = MethodSpec.parse("fennel")
+    spec.params = {}  # expect: RL009
+    return spec

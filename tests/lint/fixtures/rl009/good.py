@@ -1,0 +1,15 @@
+"""RL009 fixture: specs evolved by replacement, not mutation (clean)."""
+
+import dataclasses
+
+from repro.experiments.spec import MethodSpec
+
+
+def widen(spec: MethodSpec):
+    return dataclasses.replace(spec, params={"gamma": 2.0})
+
+
+class LocalValue:
+    def __post_init__(self):
+        # constructors may use object.__setattr__ on frozen dataclasses
+        object.__setattr__(self, "label", "x")

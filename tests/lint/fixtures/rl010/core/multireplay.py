@@ -1,0 +1,11 @@
+"""RL010 fixture: per-row Interaction access in a batch-kernel target."""
+
+
+def build_window_graph(graph, window):
+    for it in window:  # expect: RL010
+        graph.add_edge(it.src, it.dst, 1)
+    return graph
+
+
+def spans(window):
+    return [(it.timestamp, it.tx_id) for it in window]  # expect: RL010

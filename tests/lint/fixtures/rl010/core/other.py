@@ -1,0 +1,7 @@
+"""RL010 fixture: same pattern in a module the ROADMAP does not name."""
+
+
+def build_window_graph(graph, window):
+    for it in window:
+        graph.add_edge(it.src, it.dst, 1)
+    return graph

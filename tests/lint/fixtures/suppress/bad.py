@@ -1,0 +1,15 @@
+"""Suppression fixture: disable comments silence listed rules per line."""
+
+import random
+
+
+def jitter():
+    return random.random()  # reprolint: disable=RL001 -- fixture: suppression handling
+
+
+def jitter_unsuppressed():
+    return random.random()  # expect: RL001
+
+
+def pad(xs=[]):  # reprolint: disable=RL006,RL001 -- fixture: multi-id disable
+    return xs

@@ -1,0 +1,93 @@
+"""Fixture-driven rule tests.
+
+Each subdirectory of ``fixtures/`` is one self-contained lint project.
+Expected findings are annotated *in the fixture files* with trailing
+``# expect: RLxxx`` comments on the exact line the linter must report;
+the test compares the full (file, line, rule) set, so both missing
+findings and false positives fail.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(RL\d{3}(?:\s*,\s*RL\d{3})*)")
+
+#: every fixture project; dirs without any ``# expect`` annotation
+#: assert the linter stays silent on them
+FIXTURE_DIRS = sorted(p.name for p in FIXTURES.iterdir() if p.is_dir())
+
+
+def expected_findings(fixture):
+    """(relpath, line, rule) triples declared by ``# expect`` comments."""
+    root = FIXTURES / fixture
+    expected = set()
+    for path in sorted(root.rglob("*.py")):
+        relpath = f"{fixture}/{path.relative_to(root).as_posix()}"
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            match = _EXPECT_RE.search(line)
+            if match:
+                for rule in match.group(1).split(","):
+                    expected.add((relpath, lineno, rule.strip()))
+    return expected
+
+
+def test_fixture_inventory():
+    # one project per rule (RL005/RL008 get good/bad/silent variants)
+    assert {"rl001", "rl002", "rl003", "rl004", "rl005_bad", "rl005_good",
+            "rl006", "rl007", "rl008_bad", "rl008_good", "rl008_silent",
+            "rl009", "rl010", "suppress"} <= set(FIXTURE_DIRS)
+
+
+@pytest.mark.parametrize("fixture", FIXTURE_DIRS)
+def test_fixture_findings_match_annotations(fixture):
+    report = lint_paths([str(FIXTURES / fixture)])
+    actual = {(f.path, f.line, f.rule) for f in report.findings}
+    assert actual == expected_findings(fixture)
+
+
+@pytest.mark.parametrize(
+    "fixture", [f for f in FIXTURE_DIRS if f.endswith(("_bad",)) or f in
+                ("rl001", "rl002", "rl003", "rl004", "rl006", "rl007",
+                 "rl009", "suppress")]
+)
+def test_bad_fixtures_fail_the_run(fixture):
+    report = lint_paths([str(FIXTURES / fixture)])
+    assert report.exit_code == 1
+    assert report.errors
+
+
+@pytest.mark.parametrize(
+    "fixture", [f for f in FIXTURE_DIRS if f.endswith(("_good", "_silent"))]
+)
+def test_good_fixtures_pass(fixture):
+    report = lint_paths([str(FIXTURES / fixture)])
+    assert report.findings == ()
+    assert report.exit_code == 0
+
+
+def test_rl010_is_advice_only():
+    report = lint_paths([str(FIXTURES / "rl010")])
+    assert report.findings  # the loops are reported...
+    assert all(f.severity == "advice" for f in report.findings)
+    assert report.exit_code == 0  # ...but advice never fails a run
+
+
+def test_suppressions_are_counted():
+    report = lint_paths([str(FIXTURES / "suppress")])
+    # RL001 on the disabled line + RL006 via the multi-id directive
+    assert report.suppressed == 2
+    assert {f.rule for f in report.findings} == {"RL001"}
+
+
+def test_select_restricts_rules():
+    report = lint_paths([str(FIXTURES / "suppress")], select=["RL006"])
+    # only RL006 runs; its one finding is suppressed, so the run is clean
+    assert report.findings == ()
+    assert report.suppressed == 1
+    assert report.exit_code == 0
