@@ -41,6 +41,7 @@ from repro.core.registry import available_methods, make_method, register_method
 from repro.core.replay import ReplayEngine, ReplayResult, replay_method
 from repro.ethereum.workload import WorkloadConfig, WorkloadResult, generate_history
 from repro.experiments import (
+    ExecutionSpec,
     ExperimentSpec,
     LogSource,
     MethodSpec,
@@ -65,6 +66,7 @@ __all__ = [
     "make_method",
     "available_methods",
     "register_method",
+    "ExecutionSpec",
     "ExperimentSpec",
     "MethodSpec",
     "ResultSet",

@@ -62,6 +62,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--grid", default=None,
                         help="comma-separated shard counts for 'sweep' "
                         "(default: 2,4,8)")
+    parser.add_argument("--execution", default=None, metavar="SPEC",
+                        help="attach sharded-execution metrics to every "
+                        "sweep cell: a mode (2pc, migrate) or "
+                        "field=value pairs joined with '&' (e.g. "
+                        "\"mode=migrate&arrival_rate=2000\"); see "
+                        "docs/execution.md")
     parser.add_argument("--replay-seed", type=int, default=1,
                         help="method/replay seed (default: 1)")
     parser.add_argument("--jobs", type=int, default=1,
@@ -85,6 +91,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--source only applies to replay-driven commands "
             "(sweep, fig3, fig4, fig5, pitfall)"
         )
+    if args.execution and args.command != "sweep":
+        parser.error("--execution only applies to 'sweep'")
     runner = ExperimentRunner(
         scale=args.scale,
         seed=args.seed,
@@ -92,6 +100,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         store=ResultStore(args.store) if args.store else None,
         source=args.source,
+        execution=args.execution,
     )
     start = time.time()
     if args.command == "sweep":
@@ -155,6 +164,18 @@ def _run_sweep(runner: ExperimentRunner, args) -> None:
         rows,
         title="sweep results (means over active windows)",
     ))
+    if spec.execution is not None:
+        from repro.analysis.execution import (
+            compute_execution,
+            render_execution,
+            render_throughput_vs_k,
+        )
+
+        exec_rows = compute_execution(rs)
+        print()
+        print(render_execution(exec_rows, mode=spec.execution.mode))
+        print()
+        print(render_throughput_vs_k(exec_rows))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(rs.dumps())

@@ -1,0 +1,123 @@
+"""Execution-axis analysis: what a cut *costs* under sharded execution.
+
+Consumes a :class:`~repro.experiments.results.ResultSet` produced from
+an execution-enabled :class:`~repro.experiments.spec.ExperimentSpec`
+(every cell carries a throughput report) and renders the paper's
+missing figure: committed-transaction throughput versus shard count per
+partitioner, alongside the partition-quality metric (dynamic edge cut)
+that supposedly predicts it — 2PC and state-migration modes side by
+side when both were swept.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.analysis.render import ascii_table, format_si
+from repro.experiments.results import ResultSet
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionRow:
+    """One cell's execution outcome, joined with its cut quality."""
+
+    method: str
+    k: int
+    seed: int
+    edge_cut: float            # mean dynamic edge cut (the predictor)
+    throughput: float          # committed tx/s (the outcome)
+    p50_latency: float
+    p99_latency: float
+    multi_shard_ratio: float
+    utilization_imbalance: float
+    migrations: int
+    migration_bytes: int
+    unassigned_endpoints: int
+
+
+def compute_execution(rs: ResultSet) -> List[ExecutionRow]:
+    """Rows for every cell, in grid order.
+
+    Raises ``ValueError`` when a cell has no execution report — the
+    sweep was run without an ``ExecutionSpec``.
+    """
+    rows: List[ExecutionRow] = []
+    for cell in rs:
+        rep = cell.execution
+        if rep is None:
+            raise ValueError(
+                f"cell {cell.key.label} has no execution report; run the "
+                "sweep with an ExecutionSpec (CLI: --execution mode=2pc)"
+            )
+        rows.append(ExecutionRow(
+            method=cell.method,
+            k=cell.k,
+            seed=cell.seed,
+            edge_cut=cell.mean("dynamic_edge_cut"),
+            throughput=rep.throughput,
+            p50_latency=rep.latency.median,
+            p99_latency=rep.latency.p99,
+            multi_shard_ratio=rep.multi_shard_ratio,
+            utilization_imbalance=rep.utilization_imbalance,
+            migrations=rep.migrations,
+            migration_bytes=rep.migration_bytes,
+            unassigned_endpoints=rep.unassigned_endpoints,
+        ))
+    return rows
+
+
+def render_execution(rows: Sequence[ExecutionRow], mode: str = "2pc") -> str:
+    """The execution table: cut quality next to its execution cost."""
+    body = [
+        (
+            r.method,
+            r.k,
+            f"{r.edge_cut:.3f}",
+            format_si(r.throughput),
+            f"{r.p50_latency * 1e3:.2f}",
+            f"{r.p99_latency * 1e3:.2f}",
+            f"{r.multi_shard_ratio * 100:.1f}%",
+            f"{r.utilization_imbalance:.2f}",
+            format_si(r.migrations),
+        )
+        for r in rows
+    ]
+    return ascii_table(
+        ["method", "k", "edge-cut", "tx/s", "p50 ms", "p99 ms",
+         "multi-shard", "util max/mean", "moves"],
+        body,
+        title=f"sharded execution ({mode}): partition quality vs throughput",
+    )
+
+
+def render_throughput_vs_k(rows: Sequence[ExecutionRow]) -> str:
+    """The figure: throughput vs. shard count, one line per partitioner.
+
+    Bars are normalised to the best cell in the set, so the relative
+    cost of a worse cut is visible at a glance.
+    """
+    ks = sorted({r.k for r in rows})
+    methods = list(dict.fromkeys(r.method for r in rows))  # grid order
+    by_cell = {(r.method, r.k): r for r in rows}
+    best = max((r.throughput for r in rows), default=0.0)
+    width = 24
+
+    lines = ["throughput vs shard count (tx/s; bar = fraction of best)"]
+    header = "method".ljust(14) + "".join(f"k={k}".rjust(11) for k in ks)
+    lines.append(header)
+    for method in methods:
+        cells = "".join(
+            format_si(by_cell[(method, k)].throughput).rjust(11)
+            if (method, k) in by_cell else " " * 11
+            for k in ks
+        )
+        lines.append(method[:14].ljust(14) + cells)
+        for k in ks:
+            r = by_cell.get((method, k))
+            if r is None:
+                continue
+            frac = r.throughput / best if best > 0 else 0.0
+            bar = "#" * max(1, int(round(frac * width)))
+            lines.append(f"    k={k:<4} {bar} {format_si(r.throughput)}")
+    return "\n".join(lines)

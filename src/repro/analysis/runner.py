@@ -27,6 +27,7 @@ from repro.experiments.source import SourceLike, TraceSource, as_log_source
 from repro.experiments.spec import (  # re-exported for back-compat
     SCALES,
     CellKey,
+    ExecutionSpec,
     ExperimentSpec,
     MethodSpec,
     config_for_scale,
@@ -50,6 +51,7 @@ class ExperimentRunner:
         jobs: int = 1,
         store: Optional[ResultStore] = None,
         source: Optional[SourceLike] = None,
+        execution: Union[str, ExecutionSpec, None] = None,
     ):
         """Args:
             jobs: worker processes for uncached grid cells (1 =
@@ -64,6 +66,10 @@ class ExperimentRunner:
                 :attr:`workload` (there is no chain/state behind a
                 trace), so figure drivers needing the substrate
                 (fig1/fig2) require a synthetic runner.
+            execution: optional :class:`ExecutionSpec` (or its string
+                form, e.g. ``"mode=migrate"``); every spec this runner
+                builds carries it, so cells gain throughput/latency
+                reports from the sharded executor.
         """
         self.scale = scale
         self.seed = seed
@@ -79,6 +85,9 @@ class ExperimentRunner:
                     "workloads through scale=/seed="
                 )
             self.source = source
+        self.execution: Optional[ExecutionSpec] = (
+            ExecutionSpec.parse(execution) if execution is not None else None
+        )
         self._workload: Optional[WorkloadResult] = None
         self._log = None
         self._cells: Dict[CellKey, CellResult] = {}
@@ -133,6 +142,7 @@ class ExperimentRunner:
             window_hours=self.window_hours,
             replay_seeds=tuple(seeds),
             source=self.source,
+            execution=self.execution,
         )
 
     def run(self, spec: ExperimentSpec) -> ResultSet:

@@ -119,3 +119,17 @@ class SimulationError(ReproError):
 
 class SimulationClockError(SimulationError):
     """An event was scheduled in the past."""
+
+
+class UnassignedVertexError(SimulationError):
+    """A replayed transaction touched a vertex with no shard assignment.
+
+    Raised only under ``strict`` replays (the default for trace-backed
+    columnar replays, where every endpoint must have been partitioned);
+    non-strict runs count the endpoint in
+    ``ThroughputReport.unassigned_endpoints`` instead.
+    """
+
+    def __init__(self, vertex: object):
+        super().__init__(f"endpoint vertex has no shard assignment: {vertex!r}")
+        self.vertex = vertex

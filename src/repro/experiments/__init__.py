@@ -29,6 +29,7 @@ from repro.experiments.source import (
 from repro.experiments.spec import (
     SCALES,
     CellKey,
+    ExecutionSpec,
     ExperimentSpec,
     MethodSpec,
     config_for_scale,
@@ -38,6 +39,7 @@ from repro.experiments.store import ResultStore
 __all__ = [
     "CellKey",
     "CellResult",
+    "ExecutionSpec",
     "ExperimentSpec",
     "LogSource",
     "MethodSpec",

@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.results import CellResult
 from repro.experiments.source import LogSource
-from repro.experiments.spec import CellKey
+from repro.experiments.spec import CellKey, ExecutionSpec
 from repro.graph.columnar import ColumnarLog
 
 #: Relative replay cost by method name (measured at small scale; the
@@ -75,7 +75,10 @@ def partition_cells(cells: Sequence[CellKey], jobs: int) -> List[List[CellKey]]:
 
 
 def replay_chunk(
-    log, window_seconds: float, keys: Sequence[CellKey]
+    log,
+    window_seconds: float,
+    keys: Sequence[CellKey],
+    execution: Optional[ExecutionSpec] = None,
 ) -> List[CellResult]:
     """Replay one chunk of cells in a single shared pass (worker body).
 
@@ -83,7 +86,9 @@ def replay_chunk(
     the worker resolves here — for a trace source, by mmap-ing the
     file in its own address space.  Also used inline as the sequential
     fallback, so the parallel and sequential paths execute literally
-    the same code.
+    the same code.  When ``execution`` is given, each cell's final
+    assignment additionally replays through the sharded executor and
+    the report lands in ``cell.execution``.
     """
     from repro.core.multireplay import MultiReplayEngine
 
@@ -91,9 +96,14 @@ def replay_chunk(
         log = log.load()
     methods = [key.method.make(key.k, seed=key.seed) for key in keys]
     replays = MultiReplayEngine(log, methods, metric_window=window_seconds).run()
-    return [
+    cells = [
         CellResult.from_replay(key, replay) for key, replay in zip(keys, replays)
     ]
+    if execution is not None:
+        from repro.experiments.execution import attach_execution
+
+        attach_execution(log, cells, execution)
+    return cells
 
 
 def _start_method() -> str:
@@ -119,14 +129,15 @@ def _pool_can_run(chunks: Sequence[Sequence[CellKey]]) -> bool:
     return _start_method() == "fork"
 
 
-#: (log, window) shared with fork-started workers via copy-on-write
-#: inheritance, so the log is never pickled through the call pipe.
+#: (log, window, execution) shared with fork-started workers via
+#: copy-on-write inheritance, so the log is never pickled through the
+#: call pipe.
 _FORK_SHARED = None
 
 
 def _forked_chunk(keys: Sequence[CellKey]) -> List[CellResult]:
-    log, window_seconds = _FORK_SHARED
-    return replay_chunk(log, window_seconds, keys)
+    log, window_seconds, execution = _FORK_SHARED
+    return replay_chunk(log, window_seconds, keys, execution)
 
 
 def run_chunks_parallel(
@@ -135,6 +146,7 @@ def run_chunks_parallel(
     chunks: Sequence[Sequence[CellKey]],
     jobs: int,
     on_chunk: Optional[Callable[[List[CellResult]], None]] = None,
+    execution: Optional[ExecutionSpec] = None,
 ) -> List[List[CellResult]]:
     """Run chunks over a process pool; results align with ``chunks``.
 
@@ -160,7 +172,9 @@ def run_chunks_parallel(
         for i in indices:
             if isinstance(resolved, LogSource):
                 resolved = resolved.load()
-            results[i] = replay_chunk(resolved, window_seconds, chunks[i])
+            results[i] = replay_chunk(
+                resolved, window_seconds, chunks[i], execution
+            )
             if on_chunk is not None:
                 on_chunk(results[i])
 
@@ -184,7 +198,7 @@ def run_chunks_parallel(
         import concurrent.futures as futures
 
         if forked:
-            _FORK_SHARED = (log, window_seconds)
+            _FORK_SHARED = (log, window_seconds, execution)
         try:
             with futures.ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as ex:
                 if forked:
@@ -194,7 +208,9 @@ def run_chunks_parallel(
                     }
                 else:
                     handles = {
-                        ex.submit(replay_chunk, log, window_seconds, list(c)): i
+                        ex.submit(
+                            replay_chunk, log, window_seconds, list(c), execution
+                        ): i
                         for i, c in enumerate(chunks)
                     }
                 for handle in futures.as_completed(handles):

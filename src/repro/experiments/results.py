@@ -10,6 +10,15 @@ A :class:`ResultSet` maps a grid of
 :class:`~repro.experiments.spec.CellKey` cells to their results, knows
 the :class:`~repro.experiments.spec.ExperimentSpec` that produced it,
 and round-trips through JSON: ``ResultSet.loads(rs.dumps()) == rs``.
+
+Execution-enabled specs (:class:`ExperimentSpec` with an
+:class:`~repro.experiments.spec.ExecutionSpec`) add an ``execution``
+block to each serialized cell — the
+:class:`~repro.sharding.throughput.ThroughputReport` of replaying the
+cell's final assignment through the sharded executor (throughput,
+latency percentiles, utilization, migrations; full schema in
+``docs/execution.md``).  Plain cells serialize exactly as before; the
+key is simply absent.
 """
 
 from __future__ import annotations
@@ -23,17 +32,25 @@ from repro.core.base import RepartitionEvent
 from repro.core.replay import ReplayResult
 from repro.experiments.spec import CellKey, ExperimentSpec, MethodSpec
 from repro.metrics.series import MetricPoint, MetricSeries
+from repro.sharding.throughput import ThroughputReport
 
 
 @dataclasses.dataclass
 class CellResult:
-    """One (method, k, seed) replay, in serializable form."""
+    """One (method, k, seed) replay, in serializable form.
+
+    ``execution`` is present only when the spec carried an
+    :class:`~repro.experiments.spec.ExecutionSpec`: the throughput
+    report of replaying the log through the sharded executor under
+    this cell's final assignment.
+    """
 
     key: CellKey
     series: MetricSeries
     events: List[RepartitionEvent]
     assignment: Dict[int, int]
     shard_weights: Tuple[int, ...]
+    execution: Optional[ThroughputReport] = None
 
     # -- ReplayResult-compatible read surface --------------------------
 
@@ -101,7 +118,7 @@ class CellResult:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "key": self.key.to_dict(),
             "series": {
                 "method": self.series.method,
@@ -113,6 +130,9 @@ class CellResult:
             "assignment": [[v, s] for v, s in sorted(self.assignment.items())],
             "shard_weights": list(self.shard_weights),
         }
+        if self.execution is not None:
+            data["execution"] = self.execution.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CellResult":
@@ -127,6 +147,10 @@ class CellResult:
             events=[RepartitionEvent(**e) for e in data["events"]],
             assignment={int(v): int(s) for v, s in data["assignment"]},
             shard_weights=tuple(int(w) for w in data["shard_weights"]),
+            execution=(
+                ThroughputReport.from_dict(data["execution"])
+                if data.get("execution") is not None else None
+            ),
         )
 
 

@@ -158,9 +158,16 @@ def run_experiment(
             shared = handle.load() if isinstance(handle, LogSource) else handle
             methods = [key.method.make(key.k, seed=key.seed) for key in pending]
             replays = MultiReplayEngine(shared, methods, metric_window=window).run()
+            fresh = []
             for key, replay in zip(pending, replays):
                 live[key] = replay
-                collect(CellResult.from_replay(key, replay))
+                fresh.append(CellResult.from_replay(key, replay))
+            if spec.execution is not None:
+                from repro.experiments.execution import attach_execution
+
+                attach_execution(shared, fresh, spec.execution)
+            for cell in fresh:
+                collect(cell)
         else:
             # cells persist chunk-by-chunk as workers finish, so an
             # interrupted parallel sweep keeps every completed chunk
@@ -168,6 +175,7 @@ def run_experiment(
             run_chunks_parallel(
                 handle, window, chunks, jobs,
                 on_chunk=lambda cells: [collect(c) for c in cells],
+                execution=spec.execution,
             )
 
     rs = ResultSet(spec, done)

@@ -25,6 +25,7 @@ identity via :meth:`ExperimentSpec.workload_id`).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core.registry import (
@@ -207,6 +208,179 @@ class CellKey:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class ExecutionSpec:
+    """Sharded-execution cost model + arrival process, as a value.
+
+    Attached to an :class:`ExperimentSpec`, it makes throughput and
+    latency first-class cell metrics: after each cell's partition
+    replay, the final assignment is fed through
+    :class:`~repro.sharding.coordinator.ShardedExecution` and the
+    resulting :class:`~repro.sharding.throughput.ThroughputReport`
+    lands in ``CellResult.execution``.
+
+    Attributes:
+        mode: ``"2pc"`` (distributed commit) or ``"migrate"`` (state
+            moves to the majority shard; sticky).
+        service_time / prepare_time / commit_time / network_rtt /
+            migration_time_fixed / migration_bandwidth /
+            warmup_fraction: the cost model, passed straight into
+            :class:`~repro.sharding.coordinator.ShardedExecutionConfig`.
+        arrival_rate: open-loop arrivals per second; ``None`` (default)
+            saturates each cell at 80% of its single-shard capacity
+            ``k / service_time``, so throughput is comparable across k.
+        time_scale: replay historical timestamps compressed by this
+            factor instead of a fixed rate (mutually exclusive with
+            ``arrival_rate``).
+        max_rows: replay only the last ``max_rows`` log rows (``None``
+            = the whole log); bounds execution cost on huge traces.
+    """
+
+    mode: str = "2pc"
+    service_time: float = 0.001
+    prepare_time: float = 0.001
+    commit_time: float = 0.0005
+    network_rtt: float = 0.005
+    migration_time_fixed: float = 0.002
+    migration_bandwidth: float = 50e6
+    warmup_fraction: float = 0.0
+    arrival_rate: Optional[float] = None
+    time_scale: float = 0.0
+    max_rows: Optional[int] = None
+
+    _FLOAT_FIELDS = (
+        "service_time", "prepare_time", "commit_time", "network_rtt",
+        "migration_time_fixed", "migration_bandwidth", "warmup_fraction",
+        "time_scale",
+    )
+
+    def __post_init__(self) -> None:
+        # normalise numeric types so parsed ("2000" -> int) and literal
+        # (2000.0) specs share one representation, label and identity
+        object.__setattr__(self, "mode", str(self.mode))
+        for name in self._FLOAT_FIELDS:
+            object.__setattr__(self, name, float(getattr(self, name)))
+        if self.arrival_rate is not None:
+            object.__setattr__(self, "arrival_rate", float(self.arrival_rate))
+        if self.max_rows is not None:
+            object.__setattr__(self, "max_rows", int(self.max_rows))
+        self.to_config()  # mode / cost-model validation lives there
+        if self.time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {self.time_scale}")
+        if self.arrival_rate is not None and not self.arrival_rate > 0:
+            raise ValueError(
+                f"arrival_rate must be > 0, got {self.arrival_rate}"
+            )
+        if self.time_scale > 0 and self.arrival_rate is not None:
+            raise ValueError(
+                "time_scale and arrival_rate are mutually exclusive "
+                f"(got time_scale={self.time_scale}, "
+                f"arrival_rate={self.arrival_rate})"
+            )
+        if self.max_rows is not None and self.max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {self.max_rows}")
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: Union[str, "ExecutionSpec"]) -> "ExecutionSpec":
+        """Parse ``"2pc"``, ``"migrate"`` or ``"mode=migrate&k1=v1"``.
+
+        Accepts the CLI's ``--execution`` argument syntax: either a
+        bare mode name or ``&``-separated ``field=value`` pairs (any
+        :class:`ExecutionSpec` field).  Already-parsed specs pass
+        through unchanged.
+        """
+        if isinstance(text, ExecutionSpec):
+            return text
+        text = text.strip()
+        if not text:
+            raise ValueError("empty execution spec")
+        if "=" not in text:
+            return cls(mode=text)
+        fields = {f.name for f in dataclasses.fields(cls)}
+        kwargs: Dict[str, Any] = {}
+        for pair in text.split("&"):
+            key, sep, raw = pair.partition("=")
+            key = key.strip()
+            if not key or not sep:
+                raise ValueError(
+                    f"malformed execution parameter {pair!r} in {text!r} "
+                    "(expected field=value)"
+                )
+            if key not in fields:
+                raise ValueError(
+                    f"unknown execution field {key!r}; accepted: "
+                    f"{', '.join(sorted(fields))}"
+                )
+            if key in kwargs:
+                raise ValueError(f"duplicate execution field {key!r}")
+            kwargs[key] = _coerce_value(raw.strip())
+        return cls(**kwargs)
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Canonical, parseable string form (non-default fields only)."""
+        parts = [f"mode={self.mode}"]
+        for field in dataclasses.fields(self):
+            if field.name == "mode":
+                continue
+            value = getattr(self, field.name)
+            if value != field.default:
+                parts.append(f"{field.name}={_value_to_str(value)}")
+        return "&".join(parts)
+
+    @property
+    def identity(self) -> str:
+        """Short filesystem-safe identity for store keying.
+
+        Hashes *every* field (not just non-defaults), so two specs are
+        stored together only if their cost models agree exactly.
+        """
+        payload = "&".join(
+            f"{f.name}={_value_to_str(getattr(self, f.name))}"
+            for f in dataclasses.fields(self)
+            if getattr(self, f.name) is not None
+        )
+        digest = hashlib.sha1(payload.encode("utf-8")).hexdigest()[:8]
+        return f"exec-{self.mode}-{digest}"
+
+    # -- use -----------------------------------------------------------
+
+    def to_config(self):
+        """The :class:`ShardedExecutionConfig` this spec describes."""
+        from repro.sharding.coordinator import ShardedExecutionConfig
+
+        return ShardedExecutionConfig(
+            service_time=self.service_time,
+            prepare_time=self.prepare_time,
+            commit_time=self.commit_time,
+            network_rtt=self.network_rtt,
+            warmup_fraction=self.warmup_fraction,
+            mode=self.mode,
+            migration_bandwidth=self.migration_bandwidth,
+            migration_time_fixed=self.migration_time_fixed,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionSpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ValueError(
+                f"unknown execution field(s): {', '.join(unknown)}"
+            )
+        return cls(**data)
+
+    def __str__(self) -> str:
+        return self.label
+
+
 MethodLike = Union[str, MethodSpec]
 
 
@@ -229,6 +403,10 @@ class ExperimentSpec:
             instead, in which case scale/seed are ignored.  Passing a
             :class:`SyntheticSource` is equivalent to setting
             scale/seed and normalises to ``None``.
+        execution: optional :class:`ExecutionSpec` (strings parse, e.g.
+            ``"mode=migrate"``); when set, every cell's final
+            assignment additionally runs through the sharded executor
+            and ``CellResult.execution`` carries the throughput report.
     """
 
     scale: str = "small"
@@ -238,8 +416,21 @@ class ExperimentSpec:
     window_hours: float = 24.0
     replay_seeds: Tuple[int, ...] = (1,)
     source: Optional[TraceSource] = None  # type: ignore[assignment]
+    execution: Optional[ExecutionSpec] = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
+        execution = self.execution
+        if execution is not None and not isinstance(execution, ExecutionSpec):
+            if isinstance(execution, str):
+                execution = ExecutionSpec.parse(execution)
+            elif isinstance(execution, dict):
+                execution = ExecutionSpec.from_dict(execution)
+            else:
+                raise ValueError(
+                    f"execution must be an ExecutionSpec, string or dict, "
+                    f"got {execution!r}"
+                )
+        object.__setattr__(self, "execution", execution)
         source = self.source
         if source is not None:
             source = as_log_source(source)
@@ -295,6 +486,14 @@ class ExperimentSpec:
         """Identity of the replayed workload + windowing (store keying)."""
         return f"{self.log_source.identity}-win{self.window_hours:g}h"
 
+    def store_id(self) -> str:
+        """Store-directory identity: the workload plus — when present —
+        the execution axis, so execution-enabled cells never collide
+        with plain ones (their results carry extra state)."""
+        if self.execution is None:
+            return self.workload_id()
+        return f"{self.workload_id()}-{self.execution.identity}"
+
     def cells(self) -> Tuple[CellKey, ...]:
         """The grid as (method × k × seed) cells, deduplicated, in
         deterministic methods-major order."""
@@ -319,11 +518,14 @@ class ExperimentSpec:
         }
         if self.source is not None:
             data["source"] = self.source.to_dict()
+        if self.execution is not None:
+            data["execution"] = self.execution.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
         source = data.get("source")
+        execution = data.get("execution")
         return cls(
             scale=data["scale"],
             workload_seed=int(data["workload_seed"]),
@@ -332,6 +534,10 @@ class ExperimentSpec:
             window_hours=float(data["window_hours"]),
             replay_seeds=tuple(data.get("replay_seeds", (1,))),
             source=LogSource.from_dict(source) if source is not None else None,
+            execution=(
+                ExecutionSpec.from_dict(execution)
+                if execution is not None else None
+            ),
         )
 
 

@@ -1,8 +1,10 @@
 """On-disk result store: interrupted sweeps resume instead of recomputing.
 
-Layout: one JSON file per grid cell, grouped per workload identity::
+Layout: one JSON file per grid cell, grouped per store identity — the
+workload id plus, for execution-enabled specs, the execution axis::
 
     <root>/<scale>-w<seed>-win<hours>h/<method-label>--k<k>--s<seed>--<hash>.json
+    <root>/<scale>-w<seed>-win<hours>h-exec-<mode>-<hash>/<...>.json
 
 The filename embeds a short hash of the cell's canonical label, so
 parameterised method variants that sanitize to the same prefix can
@@ -39,7 +41,7 @@ class ResultStore:
         digest = hashlib.sha1(label.encode("utf-8")).hexdigest()[:8]
         stem = _SAFE.sub("_", label).strip("_") or "method"
         name = f"{stem}--k{key.k}--s{key.seed}--{digest}.json"
-        return self.root / spec.workload_id() / name
+        return self.root / spec.store_id() / name
 
     # -- IO ------------------------------------------------------------
 

@@ -993,13 +993,16 @@ class FrozenSpecMutation(Rule):
     id = "RL009"
     name = "frozen-spec-mutation"
     rationale = (
-        "MethodSpec/ExperimentSpec/CellKey are frozen values used as "
-        "cache and store keys; mutating one (object.__setattr__ outside "
-        "the constructor) silently corrupts store identity"
+        "MethodSpec/ExperimentSpec/ExecutionSpec/CellKey are frozen "
+        "values used as cache and store keys; mutating one "
+        "(object.__setattr__ outside the constructor) silently corrupts "
+        "store identity"
     )
     example = "object.__setattr__(spec, 'scale', 'large')"
 
-    _FROZEN_CLASSES = frozenset({"MethodSpec", "ExperimentSpec", "CellKey"})
+    _FROZEN_CLASSES = frozenset(
+        {"MethodSpec", "ExperimentSpec", "ExecutionSpec", "CellKey"}
+    )
     _FROZEN_FACTORIES = frozenset({"parse", "of", "from_dict", "replace"})
     _ALLOWED_FUNCS = frozenset(
         {"__init__", "__post_init__", "__new__", "__setstate__", "replace", "_replace"}
@@ -1104,6 +1107,8 @@ class RowwiseInteraction(Rule):
         ("metis", "graph.py"),
         ("metis", "matching.py"),
         ("metis", "refine.py"),
+        # the boxed replay path; replay_columnar is the batch rewrite
+        ("sharding", "coordinator.py"),
     )
     _ROW_ATTRS = frozenset(
         {"src", "dst", "timestamp", "tx_id", "src_kind", "dst_kind"}
@@ -1129,6 +1134,11 @@ class RowwiseInteraction(Rule):
                     if isinstance(node, ast.DictComp)
                     else [node.elt]
                 )
+                # nested generators iterate row attributes too:
+                # (e for it in rows for e in (it.src, it.dst))
+                for gen in node.generators:
+                    search.append(gen.iter)
+                    search.extend(gen.ifs)
             else:
                 continue
             attrs = self._row_attrs(search, loop_vars)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,6 +35,19 @@ class LatencyStats:
             maximum=ordered[-1],
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LatencyStats":
+        return cls(
+            count=int(payload["count"]),
+            mean=float(payload["mean"]),
+            median=float(payload["median"]),
+            p99=float(payload["p99"]),
+            maximum=float(payload["maximum"]),
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class ThroughputReport:
@@ -50,6 +63,7 @@ class ThroughputReport:
     utilization: Tuple[float, ...]
     migrations: int = 0         # vertices moved (migrate mode only)
     migration_bytes: int = 0    # serialized state moved (with a state)
+    unassigned_endpoints: int = 0  # endpoint lookups dropped (no shard)
 
     @property
     def multi_shard_ratio(self) -> float:
@@ -65,3 +79,35 @@ class ThroughputReport:
         """max/mean utilisation — the load-balance analogue of Eq. 2."""
         mean = self.mean_utilization
         return max(self.utilization) / mean if mean > 0 else 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload; inverse of :meth:`from_dict`."""
+        return {
+            "k": self.k,
+            "completed": self.completed,
+            "single_shard": self.single_shard,
+            "multi_shard": self.multi_shard,
+            "elapsed": self.elapsed,
+            "throughput": self.throughput,
+            "latency": self.latency.to_dict(),
+            "utilization": list(self.utilization),
+            "migrations": self.migrations,
+            "migration_bytes": self.migration_bytes,
+            "unassigned_endpoints": self.unassigned_endpoints,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ThroughputReport":
+        return cls(
+            k=int(payload["k"]),
+            completed=int(payload["completed"]),
+            single_shard=int(payload["single_shard"]),
+            multi_shard=int(payload["multi_shard"]),
+            elapsed=float(payload["elapsed"]),
+            throughput=float(payload["throughput"]),
+            latency=LatencyStats.from_dict(payload["latency"]),
+            utilization=tuple(float(u) for u in payload["utilization"]),
+            migrations=int(payload.get("migrations", 0)),
+            migration_bytes=int(payload.get("migration_bytes", 0)),
+            unassigned_endpoints=int(payload.get("unassigned_endpoints", 0)),
+        )

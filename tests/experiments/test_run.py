@@ -261,14 +261,14 @@ class TestIncrementalPersistence:
         seen_on_disk = []
         orig = runmod.run_chunks_parallel
 
-        def spying(log, window, chunks, jobs, on_chunk=None):
+        def spying(log, window, chunks, jobs, on_chunk=None, **kw):
             def wrapped(cells):
                 on_chunk(cells)
                 # immediately after each chunk lands, its cells must
                 # already be on disk
                 for c in cells:
                     seen_on_disk.append(store.load(spec, c.key) is not None)
-            return orig(log, window, chunks, jobs, on_chunk=wrapped)
+            return orig(log, window, chunks, jobs, on_chunk=wrapped, **kw)
 
         runmod.run_chunks_parallel = spying
         try:

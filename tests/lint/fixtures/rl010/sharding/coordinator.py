@@ -1,0 +1,14 @@
+"""RL010 fixture: the boxed replay path in the sharding coordinator."""
+
+
+def submit_boxed(shards, window):
+    for it in window:  # expect: RL010
+        shards[hash(it.src) % len(shards)].submit(it.src, it.dst)
+
+
+def arrival_times(window):
+    return [it.timestamp for it in window]  # expect: RL010
+
+
+def endpoints(bucket):
+    return dict.fromkeys(e for it in bucket for e in (it.src, it.dst))  # expect: RL010
