@@ -1,0 +1,105 @@
+"""LINT-CACHE — incremental reprolint vs cold whole-project analysis.
+
+The interprocedural rules (RL011–RL013) made every lint run a
+whole-project analysis: symbol table, call graph, taint propagation.
+The content-hash cache must buy that cost back on the runs developers
+actually repeat:
+
+* **warm full hit** — nothing changed: findings replay from the cache
+  without parsing a single file.  Gate: >= 5x faster than the cold
+  run, findings byte-identical.
+* **leaf edit** — one file touched: only that file is re-parsed, and
+  the ``impacted`` set (the file plus its reverse call-graph closure)
+  stays a proper subset of the tree — the cache's invalidation is
+  *targeted*, not all-or-nothing.
+
+The repo's ``src`` tree is copied to a scratch directory so cache
+files and edits never touch the working tree.  Artifact:
+``benchmarks/out/lint_cache.txt``.
+"""
+
+import pathlib
+import shutil
+import time
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.lint import lint_paths
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+#: a widely-imported module: its reverse closure is large enough to be
+#: interesting but must stay well short of the whole tree
+LEAF = "src/repro/graph/columnar.py"
+
+
+def _timed(fn, rounds=1):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.mark.benchmark(group="lint-cache")
+def test_lint_cache_speedup_and_targeted_invalidation(out_dir, tmp_path):
+    shutil.copytree(REPO / "src", tmp_path / "src")
+    cache = tmp_path / "cache.json"
+
+    def run(**kwargs):
+        return lint_paths(
+            [str(tmp_path / "src")],
+            use_cache=True,
+            cache_path=str(cache),
+            **kwargs,
+        )
+
+    t_cold, cold = _timed(run)
+    t_warm, warm = _timed(run, rounds=3)
+
+    # warm runs replay findings without parsing anything
+    assert warm.findings == cold.findings
+    assert warm.suppressed == cold.suppressed
+    assert warm.cache_stats["parsed"] == 0
+    assert warm.cache_stats["hit"] == cold.files
+
+    speedup = t_cold / t_warm
+    assert speedup >= 5.0, (
+        f"warm lint {t_warm:.3f}s vs cold {t_cold:.3f}s — only "
+        f"{speedup:.1f}x, cache gate is 5x"
+    )
+
+    # --- leaf edit: re-parse one file, impact only its dependents ---
+    leaf = tmp_path / LEAF
+    leaf.write_text(leaf.read_text() + "\n_BENCH_CACHE_TOUCH = 1\n")
+    t_edit, edited = _timed(run)
+
+    leaf_rel = str(pathlib.PurePosixPath(LEAF))
+    assert edited.cache_stats["parsed_files"] == [leaf_rel]
+    impacted = edited.cache_stats["impacted_files"]
+    assert leaf_rel in impacted
+    # targeted invalidation: dependents yes, the whole tree no
+    assert 1 < len(impacted) < cold.files
+    # a benign edit shifts no findings
+    assert [
+        (f.path, f.rule) for f in edited.findings
+    ] == [(f.path, f.rule) for f in cold.findings]
+
+    lines = [
+        "LINT-CACHE — incremental reprolint (src tree, all 13 rules)",
+        "",
+        f"files linted            {cold.files}",
+        f"cold run                {t_cold * 1000:8.1f} ms",
+        f"warm full hit           {t_warm * 1000:8.1f} ms   ({speedup:.1f}x, gate 5x)",
+        f"leaf edit ({LEAF})",
+        f"  re-run                {t_edit * 1000:8.1f} ms",
+        f"  files re-parsed       {edited.cache_stats['parsed']}",
+        f"  files impacted        {edited.cache_stats['impacted']} of {cold.files}",
+        "",
+        "warm findings identical to cold; leaf edit re-parses only the",
+        "edited file and impacts only its reverse call-graph closure.",
+    ]
+    write_artifact(out_dir, "lint_cache.txt", "\n".join(lines) + "\n")

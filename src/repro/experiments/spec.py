@@ -409,12 +409,16 @@ class ExperimentSpec:
             and ``CellResult.execution`` carries the throughput report.
     """
 
+    # methods/ks/replay_seeds are deliberately NOT part of store_id():
+    # the store keys *cells* (method × k × seed) under a workload id,
+    # so grids with different method sets share cached cell results
+    # instead of recomputing them — see ResultStore.cell_path.
     scale: str = "small"
     workload_seed: int = 42
-    methods: Tuple[MethodSpec, ...] = ("hash", "metis")  # type: ignore[assignment]
-    ks: Tuple[int, ...] = (2,)
+    methods: Tuple[MethodSpec, ...] = ("hash", "metis")  # type: ignore[assignment]  # reprolint: disable=RL013 -- cells are keyed per-method inside the store; sharing across grids is intended
+    ks: Tuple[int, ...] = (2,)  # reprolint: disable=RL013 -- cells are keyed per-k inside the store; sharing across grids is intended
     window_hours: float = 24.0
-    replay_seeds: Tuple[int, ...] = (1,)
+    replay_seeds: Tuple[int, ...] = (1,)  # reprolint: disable=RL013 -- cells are keyed per-seed inside the store; sharing across grids is intended
     source: Optional[TraceSource] = None  # type: ignore[assignment]
     execution: Optional[ExecutionSpec] = None  # type: ignore[assignment]
 

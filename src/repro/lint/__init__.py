@@ -44,11 +44,26 @@ RL009  frozen-spec-mutation  error     attribute assignment on frozen spec
 RL010  rowwise-interaction   advice    per-row ``Interaction`` attribute access
                                        in loops of the batch-kernel target
                                        modules named by the ROADMAP
+RL011  transitive-taint      error     wall-clock/unseeded-RNG reads *reachable*
+                                       from the replay entry points through the
+                                       project call graph (chain as evidence)
+RL012  pool-boundary         error     lambdas, nested functions, open handles
+                                       and buffer-backed ColumnarLogs crossing
+                                       ``ProcessPoolExecutor.submit``; unguarded
+                                       ``_FORK_SHARED`` readers
+RL013  store-identity        error     spec dataclass fields that do not flow
+                                       into the ``label()``/``store_id()``/
+                                       ``identity`` store-key payload
 ====== ===================== ========= =========================================
 
 ``advice``-level findings are reported but never affect the exit code;
 they mark planned optimisation sites, not defects.  ``RL000`` is
 reserved for files that fail to parse.
+
+RL011–RL013 are interprocedural: they run on a whole-project symbol
+table and call graph (:mod:`repro.lint.callgraph`,
+:mod:`repro.lint.dataflow`).  Runs are incremental by default — see
+:mod:`repro.lint.cache` and ``docs/lint_internals.md``.
 """
 
 from __future__ import annotations

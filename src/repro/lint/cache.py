@@ -1,0 +1,346 @@
+"""Incremental lint cache: content-hashed per-file findings + summaries.
+
+Whole-project analysis (RL005/RL008/RL011–RL013) is strictly more work
+per run than the per-file rules, so warm runs must not pay for it from
+scratch.  The cache stores, per file, keyed by the sha256 of its bytes:
+
+* the per-module findings (module rules + RL000 parse errors),
+  **pre-suppression**, plus the file's suppression table — so a warm
+  run reproduces the exact kept/suppressed split without re-tokenizing;
+* the project-rule findings anchored in the file (reused only when the
+  *entire* tree is unchanged — a project finding depends on every
+  summary, not just its anchor file);
+* the file's :class:`~repro.lint.callgraph.ModuleSummary`, the
+  serializable IR the project rules work from — so when *some* files
+  change, the project rules rerun over summaries without re-parsing
+  the unchanged files.
+
+Invalidation:
+
+* a changed file re-runs its own module rules (content hash mismatch);
+* project rules rerun whenever any file changed, over cached+fresh
+  summaries — which transitively accounts for call-graph effects (a
+  leaf edit can change a taint chain anchored two files away);
+* the ``impacted`` statistic (and ``--changed-only`` reporting) is the
+  changed set plus its reverse call-graph closure — the files whose
+  interprocedural findings could have shifted;
+* the whole cache is invalidated by a linter-code change (the rules
+  signature hashes every ``src/repro/lint/*.py``), by a different lint
+  root, or by a schema bump.
+
+File format (``.reprolint_cache.json``, see docs/lint_internals.md)::
+
+    {"schema": "reprolint-cache/1", "rules": "<sha256>",
+     "root": "/abs/lint/root",
+     "files": {"src/repro/x.py": {"hash": "...", "summary": {...},
+               "local": [...], "project": [...], "disables": {...}}}}
+
+Writes are atomic (tmp file + rename) so an interrupted run never
+leaves a torn cache; any unreadable/stale cache degrades to a cold
+run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import (
+    Finding,
+    LintReport,
+    Module,
+    Project,
+    _lint_root,
+    apply_suppressions,
+    collect_files,
+)
+
+CACHE_SCHEMA = "reprolint-cache/1"
+CACHE_BASENAME = ".reprolint_cache.json"
+
+
+def default_cache_path(root: str) -> str:
+    return os.path.join(root, CACHE_BASENAME)
+
+
+def rules_signature() -> str:
+    """sha256 over the linter's own sources: editing any rule, the
+    engine, or this module invalidates every cached finding."""
+    lint_dir = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(lint_dir)):
+        if not name.endswith(".py"):
+            continue
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\0")
+        with open(os.path.join(lint_dir, name), "rb") as f:
+            digest.update(f.read())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _encode_finding(finding: Finding) -> Dict[str, object]:
+    return {
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "message": finding.message,
+        "chain": list(finding.chain),
+    }
+
+
+def _decode_finding(relpath: str, data: Dict[str, object]) -> Finding:
+    return Finding(
+        path=relpath,
+        line=int(data["line"]),
+        col=int(data["col"]),
+        rule=str(data["rule"]),
+        severity=str(data["severity"]),
+        message=str(data["message"]),
+        chain=tuple(data.get("chain", ())),
+    )
+
+
+def _encode_disables(disables: Dict[int, FrozenSet[str]]) -> Dict[str, List[str]]:
+    return {str(line): sorted(ids) for line, ids in disables.items()}
+
+
+def _decode_disables(data: Dict[str, object]) -> Dict[int, FrozenSet[str]]:
+    return {int(line): frozenset(ids) for line, ids in data.items()}
+
+
+def _load_cache(path: str, root: str, signature: str) -> Dict[str, Dict]:
+    """The cached per-file entries, or {} when absent/stale/corrupt."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA:
+        return {}
+    if data.get("rules") != signature or data.get("root") != root:
+        return {}
+    entries = data.get("files")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _write_cache(
+    path: str, root: str, signature: str, entries: Dict[str, Dict]
+) -> None:
+    data = {
+        "schema": CACHE_SCHEMA,
+        "rules": signature,
+        "root": root,
+        "files": entries,
+    }
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(data, f, sort_keys=True)
+        os.replace(tmp, path)
+    except OSError:
+        # a read-only checkout still lints; the next run is just cold
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def lint_paths_cached(
+    paths: Sequence[str],
+    cache_path: Optional[str] = None,
+    changed_only: bool = False,
+) -> LintReport:
+    """Lint with the incremental cache (all rules; see lint_paths)."""
+    files = collect_files(paths)
+    root = _lint_root(files, paths)
+    cache_file = cache_path or default_cache_path(root)
+    signature = rules_signature()
+    cached = _load_cache(cache_file, root, signature)
+
+    located: List[Tuple[str, str]] = []  # (abspath, relpath)
+    hashes: Dict[str, str] = {}
+    texts: Dict[str, bytes] = {}
+    for abspath in files:
+        relpath = os.path.relpath(abspath, root).replace(os.sep, "/")
+        with open(abspath, "rb") as f:
+            blob = f.read()
+        located.append((abspath, relpath))
+        hashes[relpath] = hashlib.sha256(blob).hexdigest()
+        texts[relpath] = blob
+    current: Set[str] = {rel for _, rel in located}
+
+    clean: Set[str] = {
+        rel
+        for rel in current
+        if rel in cached and cached[rel].get("hash") == hashes[rel]
+    }
+    dirty: Set[str] = current - clean
+
+    if not dirty and set(cached) == current:
+        return _full_hit_report(located, cached, changed_only)
+    return _partial_report(
+        located,
+        cached,
+        clean,
+        dirty,
+        hashes,
+        texts,
+        changed_only,
+        cache_file,
+        root,
+        signature,
+    )
+
+
+def _full_hit_report(
+    located: Sequence[Tuple[str, str]],
+    cached: Dict[str, Dict],
+    changed_only: bool,
+) -> LintReport:
+    """Every file unchanged: replay findings, parse nothing."""
+    findings: List[Finding] = []
+    by_relpath: Dict[str, Module] = {}
+    for abspath, relpath in located:
+        entry = cached[relpath]
+        by_relpath[relpath] = Module.from_cache(
+            abspath, relpath, None, _decode_disables(entry.get("disables", {}))
+        )
+        for item in entry.get("local", []) + entry.get("project", []):
+            findings.append(_decode_finding(relpath, item))
+    kept, suppressed = apply_suppressions(findings, by_relpath)
+    if changed_only:
+        kept, suppressed = [], 0
+    return LintReport(
+        findings=tuple(sorted(kept)),
+        suppressed=suppressed,
+        files=len(located),
+        cache_stats={
+            "hit": len(located),
+            "parsed": 0,
+            "impacted": 0,
+            "parsed_files": [],
+            "impacted_files": [],
+        },
+    )
+
+
+def _partial_report(
+    located: Sequence[Tuple[str, str]],
+    cached: Dict[str, Dict],
+    clean: Set[str],
+    dirty: Set[str],
+    hashes: Dict[str, str],
+    texts: Dict[str, bytes],
+    changed_only: bool,
+    cache_file: str,
+    root: str,
+    signature: str,
+) -> LintReport:
+    """Some files changed: parse those, restore the rest, rerun the
+    project rules over the combined summaries, refresh the cache."""
+    from repro.lint.callgraph import ModuleSummary
+    from repro.lint.dataflow import file_dependencies, reverse_file_closure
+    from repro.lint.engine import SEVERITY_ERROR
+    from repro.lint.flowrules import _graph_for
+    from repro.lint.rules import active_rules
+
+    modules: List[Module] = []
+    for abspath, relpath in located:
+        if relpath in clean:
+            entry = cached[relpath]
+            summary_data = entry.get("summary")
+            summary = (
+                ModuleSummary.from_dict(summary_data) if summary_data else None
+            )
+            modules.append(
+                Module.from_cache(
+                    abspath,
+                    relpath,
+                    summary,
+                    _decode_disables(entry.get("disables", {})),
+                )
+            )
+        else:
+            text = texts[relpath].decode("utf-8")
+            modules.append(Module(abspath, relpath, text))
+    project = Project(modules)
+
+    local_by_rel: Dict[str, List[Finding]] = {rel: [] for _, rel in located}
+    for relpath in clean:
+        for item in cached[relpath].get("local", []):
+            local_by_rel[relpath].append(_decode_finding(relpath, item))
+    for module in project.modules:
+        if module.parse_error is not None:
+            line, col, msg = module.parse_error
+            local_by_rel[module.relpath].append(
+                Finding(
+                    path=module.relpath,
+                    line=line,
+                    col=col,
+                    rule="RL000",
+                    severity=SEVERITY_ERROR,
+                    message=f"file does not parse: {msg}",
+                )
+            )
+
+    rules = active_rules(None)
+    for rule in rules:
+        if rule.project_rule:
+            continue
+        # cached modules hold no AST, so rule.run only revisits the
+        # re-parsed (dirty) files
+        for finding in rule.run(project):
+            local_by_rel[finding.path].append(finding)
+
+    project_by_rel: Dict[str, List[Finding]] = {rel: [] for _, rel in located}
+    for rule in rules:
+        if not rule.project_rule:
+            continue
+        for finding in rule.run(project):
+            project_by_rel.setdefault(finding.path, []).append(finding)
+
+    graph = _graph_for(project)
+    impacted = reverse_file_closure(file_dependencies(graph), dirty) & (
+        set(local_by_rel)
+    )
+    impacted |= dirty
+
+    findings: List[Finding] = []
+    for bucket in (local_by_rel, project_by_rel):
+        for items in bucket.values():
+            findings.extend(items)
+    kept, suppressed = apply_suppressions(findings, project.by_relpath)
+    if changed_only:
+        kept = [f for f in kept if f.path in impacted]
+
+    entries: Dict[str, Dict] = {}
+    for module in project.modules:
+        relpath = module.relpath
+        summary = module.summary
+        entries[relpath] = {
+            "hash": hashes[relpath],
+            "summary": summary.to_dict() if summary is not None else None,
+            "local": [_encode_finding(f) for f in local_by_rel[relpath]],
+            "project": [
+                _encode_finding(f) for f in project_by_rel.get(relpath, [])
+            ],
+            "disables": _encode_disables(module.disables),
+        }
+    _write_cache(cache_file, root, signature, entries)
+
+    return LintReport(
+        findings=tuple(sorted(kept)),
+        suppressed=suppressed,
+        files=len(project.modules),
+        cache_stats={
+            "hit": len(clean),
+            "parsed": len(dirty),
+            "impacted": len(impacted),
+            "parsed_files": sorted(dirty),
+            "impacted_files": sorted(impacted),
+        },
+    )

@@ -2,22 +2,31 @@
 
 Exit status: 0 when no error-severity findings survive suppression
 (advice never fails a run), 1 when violations remain, 2 on usage
-errors.  ``--format json`` emits the stable ``reprolint/1`` schema::
+errors, 3 on an internal linter crash (so CI can distinguish "lint
+found problems" from "lint itself broke").  ``--format json`` emits
+the stable ``reprolint/2`` schema::
 
     {
-      "schema": "reprolint/1",
+      "schema": "reprolint/2",
       "files": 123,
       "findings": [
         {"file": "src/x.py", "line": 10, "col": 5,
-         "rule": "RL002", "severity": "error", "message": "..."}
+         "rule": "RL002", "severity": "error", "message": "...",
+         "chain": ["repro.core.multireplay.MultiReplayEngine.run",
+                   "repro.core.helpers._jitter"]}
       ],
       "counts": {"error": 1, "advice": 0, "suppressed": 2},
+      "cache": {"hit": 120, "parsed": 3, "impacted": 5},
       "exit": 1
     }
 
-Findings are sorted by (file, line, col, rule) so reports diff cleanly
-across runs; ``file`` is relative to the common ancestor of the path
-arguments, with ``/`` separators on every platform.
+``chain`` appears only on interprocedural findings (RL011) and lists
+the call path from the replay entry point to the tainted function;
+``cache`` appears only on cache-enabled runs (the default — see
+``--no-cache`` / ``--cache-path`` / ``--changed-only``).  Findings are
+sorted by (file, line, col, rule) so reports diff cleanly across runs;
+``file`` is relative to the common ancestor of the path arguments,
+with ``/`` separators on every platform.
 """
 
 from __future__ import annotations
@@ -64,6 +73,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-advice",
         action="store_true",
         help="omit advice-level findings from the report",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental lint cache (always analyze cold)",
+    )
+    parser.add_argument(
+        "--cache-path",
+        metavar="FILE",
+        help=(
+            "cache file location (default: .reprolint_cache.json in "
+            "the lint root)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "report only findings in files re-analyzed this run "
+            "(changed files plus their call-graph dependents); exit "
+            "status still reflects the reported findings only"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -120,13 +151,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
     try:
-        report = lint_paths(args.paths, select=select)
+        report = lint_paths(
+            args.paths,
+            select=select,
+            use_cache=not args.no_cache,
+            cache_path=args.cache_path,
+            changed_only=args.changed_only,
+        )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:  # reprolint: disable=RL007 -- deliberate last-resort handler: an internal linter crash must exit 3 (distinct from findings=1 and usage=2) so CI can tell "lint failed" from "lint found problems"
+        print(
+            f"reprolint: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 3
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as out:

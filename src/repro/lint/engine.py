@@ -63,12 +63,15 @@ class Finding:
     rule: str        #: rule id, e.g. ``"RL002"``
     severity: str    #: ``"error"`` or ``"advice"``
     message: str
+    #: call-chain evidence for interprocedural findings (RL011):
+    #: entry-point symbol first, tainted function last; empty otherwise
+    chain: Tuple[str, ...] = ()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "file": self.path,
             "line": self.line,
             "col": self.col,
@@ -76,6 +79,9 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.chain:
+            out["chain"] = list(self.chain)
+        return out
 
 
 class Module:
@@ -100,6 +106,37 @@ class Module:
         self.disables: Dict[int, FrozenSet[str]] = (
             _parse_suppressions(text) if self.tree is not None else {}
         )
+        self._summary = None
+
+    @property
+    def summary(self):
+        """The module's :class:`~repro.lint.callgraph.ModuleSummary`.
+
+        Built lazily from the AST (or pre-set by
+        :meth:`from_cache`); None for files that do not parse.
+        """
+        if self._summary is None and self.tree is not None:
+            from repro.lint.callgraph import build_summary
+
+            self._summary = build_summary(self.relpath, self.tree)
+        return self._summary
+
+    @classmethod
+    def from_cache(cls, abspath: str, relpath: str, summary, disables) -> "Module":
+        """A module restored from the lint cache: summary + suppression
+        table only, no source text and no AST (module rules skip it;
+        its per-module findings come from the cache)."""
+        module = cls.__new__(cls)
+        module.abspath = abspath
+        module.relpath = relpath.replace(os.sep, "/")
+        module.text = None
+        module.parts = tuple(module.relpath.split("/"))
+        module.basename = module.parts[-1]
+        module.tree = None
+        module.parse_error = None
+        module.disables = disables
+        module._summary = summary
+        return module
 
     def in_dirs(self, *names: str) -> bool:
         """True when any *directory* segment of the path matches."""
@@ -116,6 +153,12 @@ class Project:
         self.modules: List[Module] = list(modules)
         self.by_relpath: Dict[str, Module] = {m.relpath: m for m in self.modules}
 
+    @property
+    def summaries(self):
+        """Module summaries of every parseable module, in module order
+        (the project rules' working set — cached or freshly built)."""
+        return [m.summary for m in self.modules if m.summary is not None]
+
 
 @dataclasses.dataclass(frozen=True)
 class LintReport:
@@ -124,6 +167,10 @@ class LintReport:
     findings: Tuple[Finding, ...]   #: kept findings, sorted
     suppressed: int                 #: findings removed by disable comments
     files: int                      #: modules linted
+    #: incremental-cache statistics when the run used the cache
+    #: (``hit``/``parsed``/``impacted`` counts plus the file lists);
+    #: None for uncached runs
+    cache_stats: Optional[Dict[str, object]] = None
 
     @property
     def errors(self) -> Tuple[Finding, ...]:
@@ -140,8 +187,8 @@ class LintReport:
 
     def to_dict(self) -> Dict[str, object]:
         """Stable JSON-ready form (the ``--format json`` schema)."""
-        return {
-            "schema": "reprolint/1",
+        out: Dict[str, object] = {
+            "schema": "reprolint/2",
             "files": self.files,
             "findings": [f.to_dict() for f in self.findings],
             "counts": {
@@ -151,6 +198,13 @@ class LintReport:
             },
             "exit": self.exit_code,
         }
+        if self.cache_stats is not None:
+            out["cache"] = {
+                "hit": self.cache_stats.get("hit", 0),
+                "parsed": self.cache_stats.get("parsed", 0),
+                "impacted": self.cache_stats.get("impacted", 0),
+            }
+        return out
 
 
 def _parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
@@ -264,15 +318,7 @@ def lint_project(
     for rule in active_rules(select):
         findings.extend(rule.run(project))
 
-    kept: List[Finding] = []
-    suppressed = 0
-    for finding in findings:
-        module = project.by_relpath.get(finding.path)
-        disabled = module.disables.get(finding.line, frozenset()) if module else frozenset()
-        if finding.rule in disabled:
-            suppressed += 1
-        else:
-            kept.append(finding)
+    kept, suppressed = apply_suppressions(findings, project.by_relpath)
     return LintReport(
         findings=tuple(sorted(kept)),
         suppressed=suppressed,
@@ -280,8 +326,40 @@ def lint_project(
     )
 
 
+def apply_suppressions(
+    findings: Iterable[Finding], by_relpath: Dict[str, Module]
+) -> Tuple[List[Finding], int]:
+    """(kept findings, suppressed count) after the disable tables."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        module = by_relpath.get(finding.path)
+        disabled = module.disables.get(finding.line, frozenset()) if module else frozenset()
+        if finding.rule in disabled:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
 def lint_paths(
-    paths: Sequence[str], select: Optional[Iterable[str]] = None
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    use_cache: bool = False,
+    cache_path: Optional[str] = None,
+    changed_only: bool = False,
 ) -> LintReport:
-    """Lint the given files/directories; the library entry point."""
+    """Lint the given files/directories; the library entry point.
+
+    With ``use_cache`` (the CLI default), unchanged files are restored
+    from the content-hash cache (see :mod:`repro.lint.cache`) instead
+    of being re-parsed; ``--select`` runs always bypass the cache so a
+    partial rule set never poisons cached full-run findings.
+    """
+    if use_cache and select is None:
+        from repro.lint.cache import lint_paths_cached
+
+        return lint_paths_cached(
+            paths, cache_path=cache_path, changed_only=changed_only
+        )
     return lint_project(load_project(paths), select=select)

@@ -80,6 +80,11 @@ class Rule:
     id: str = "RL000"
     name: str = "abstract"
     severity: str = SEVERITY_ERROR
+    #: project rules override :meth:`run` and work from the whole
+    #: project's *module summaries* — never from per-file ASTs — so
+    #: the incremental cache can rerun them without re-parsing
+    #: unchanged files; module rules are cached per file instead
+    project_rule: bool = False
     #: one-line rationale (surfaced by ``--list-rules`` and the docs)
     rationale: str = ""
     #: minimal example violation, for the docs table
@@ -105,6 +110,26 @@ class Rule:
             rule=self.id,
             severity=self.severity,
             message=message,
+        )
+
+    def finding_at(
+        self,
+        relpath: str,
+        line: int,
+        col_offset: int,
+        message: str,
+        chain: Tuple[str, ...] = (),
+    ) -> Finding:
+        """A finding anchored by summary coordinates (0-based column),
+        for project rules that no longer hold an AST node."""
+        return Finding(
+            path=relpath,
+            line=line,
+            col=col_offset + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            chain=chain,
         )
 
 
@@ -214,6 +239,7 @@ class UnseededRandom(Rule):
     def check_module(self, module: Module) -> Iterator[Finding]:
         modules, names = _import_aliases(module.tree)
         random_aliases = {a for a, m in modules.items() if m == "random"}
+        rng_names = self._rng_instance_names(module.tree, modules, names)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Attribute):
                 if (
@@ -246,6 +272,47 @@ class UnseededRandom(Rule):
                         "random.Random() without a seed draws from OS "
                         "entropy; pass an explicit seed",
                     )
+                elif self._is_argless_reseed(node, rng_names, modules, names):
+                    yield self.finding(
+                        module,
+                        node,
+                        ".seed() with no arguments reseeds the RNG from "
+                        "OS entropy; pass an explicit seed",
+                    )
+
+    def _rng_instance_names(self, tree, modules, names) -> Set[str]:
+        """Names bound to ``random.Random(...)`` instances anywhere in
+        the file (scope-insensitive on purpose: a false merge would
+        only matter if the same name were also a non-RNG with a
+        ``.seed()`` method, which does not occur in practice)."""
+        rng: Set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and _resolved_call_name(node.value, modules, names) == "random.Random"
+            ):
+                rng.add(node.targets[0].id)
+        return rng
+
+    def _is_argless_reseed(self, node: ast.Call, rng_names, modules, names) -> bool:
+        """``rng.seed()`` / ``random.Random(x).seed()`` with no args.
+
+        Note ``random.seed()`` (the module-global) is already flagged by
+        the attribute branch above; this closes the *instance* gap.
+        """
+        if node.args or node.keywords:
+            return False
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "seed"):
+            return False
+        receiver = node.func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id in rng_names
+        if isinstance(receiver, ast.Call):
+            return _resolved_call_name(receiver, modules, names) == "random.Random"
+        return False
 
 
 # ----------------------------------------------------------------------
@@ -559,6 +626,48 @@ def _const_eval(node: ast.AST, env: Dict[str, object]) -> object:
     raise _Unevaluable(ast.dump(node)[:40])
 
 
+def _eval_encoded(enc: Dict[str, object], env: Dict[str, object]) -> object:
+    """Evaluate a summary-encoded const expression (see
+    :func:`repro.lint.callgraph.encode_const`) against ``env``.
+
+    Same semantics as :func:`_const_eval`, but over the serialized form
+    so cached summaries can replay the evaluation without an AST.
+    """
+    kind, value = enc["k"], enc["v"]
+    if kind == "c":
+        return value
+    if kind == "t":
+        return tuple(_eval_encoded(e, env) for e in value)
+    if kind == "d":
+        return {
+            _eval_encoded(k, env): _eval_encoded(v, env) for k, v in value
+        }
+    if kind == "n":
+        if value in env:
+            return env[value]
+        raise _Unevaluable(value)
+    if kind == "neg":
+        operand = _eval_encoded(value, env)
+        if isinstance(operand, (int, float)):
+            return -operand
+        raise _Unevaluable("usub")
+    if kind == "struct":
+        fmt = _eval_encoded(value, env)
+        if isinstance(fmt, str):
+            try:
+                struct.calcsize(fmt)
+            except struct.error as exc:
+                raise _Unevaluable(f"bad struct format: {exc}") from exc
+            return _Struct(fmt)
+        raise _Unevaluable("struct")
+    if kind == "fs":
+        arg = _eval_encoded(value, env)
+        if isinstance(arg, tuple):
+            return frozenset(arg)
+        raise _Unevaluable("frozenset")
+    raise _Unevaluable(str(kind))
+
+
 @register
 class TraceFormatDrift(Rule):
     id = "RL005"
@@ -571,6 +680,8 @@ class TraceFormatDrift(Rule):
     )
     example = '_SECTION_ENTRY = struct.Struct("<BBHQQ")  # no longer 12 bytes'
 
+    project_rule = True
+
     #: the byte-layout contracts (module docstring of repro.graph.io)
     _HEADER_BYTES = 64
     _SECTION_ENTRY_BYTES = 12
@@ -579,26 +690,19 @@ class TraceFormatDrift(Rule):
 
     def run(self, project: Project) -> Iterator[Finding]:
         env: Dict[str, object] = {}
-        anchors: Dict[str, Tuple[Module, ast.AST]] = {}
-        for module in project.modules:
-            if module.tree is None:
-                continue
-            for stmt in module.tree.body:
-                if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
-                    continue
-                target = stmt.targets[0]
-                if not isinstance(target, ast.Name):
-                    continue
+        anchors: Dict[str, Tuple[str, int, int]] = {}
+        for summary in project.summaries:
+            for name, encoded, line, col in summary.consts:
                 try:
-                    value = _const_eval(stmt.value, env)
+                    value = _eval_encoded(encoded, env)
                 except _Unevaluable:
                     continue
-                env[target.id] = value
-                anchors[target.id] = (module, stmt)
+                env[name] = value
+                anchors[name] = (summary.relpath, line, col)
 
         def at(name: str, message: str) -> Finding:
-            module, node = anchors[name]
-            return self.finding(module, node, message)
+            relpath, line, col = anchors[name]
+            return self.finding_at(relpath, line, col, message)
 
         yield from self._check_structs(env, at)
         yield from self._check_tags(env, at)
@@ -842,6 +946,8 @@ class RegistryCompleteness(Rule):
     )
     example = "class NewPartitioner(PartitionMethod): ...  # never registered"
 
+    project_rule = True
+
     _BASE = "PartitionMethod"
     _FACTORIES_NAME = "_FACTORIES"
     _REGISTER_FUNC = "register_method"
@@ -851,72 +957,50 @@ class RegistryCompleteness(Rule):
         # across files are each checked); classes defined inside
         # functions are scoped helpers that *cannot* be meaningfully
         # registered, so they are exempt by construction
-        top_level: List[Tuple[Module, ast.ClassDef]] = []
-        classes: Dict[str, Tuple[Module, ast.ClassDef]] = {}
+        top_level: List[Tuple[str, str, int, int]] = []
+        classes: Dict[str, Tuple[str, object]] = {}  # first occurrence wins
         bases: Dict[str, Set[str]] = {}
         factory_classes: Set[str] = set()
         runtime_registered: Set[str] = set()
         registry_present = False
 
-        for module in project.modules:
-            if module.tree is None:
-                continue
-            for stmt in module.tree.body:
-                if isinstance(stmt, ast.ClassDef):
-                    top_level.append((module, stmt))
-            for node in ast.walk(module.tree):
-                if isinstance(node, ast.ClassDef):
-                    classes.setdefault(node.name, (module, node))
-                    bases.setdefault(node.name, set()).update(
-                        (_dotted(b) or "").split(".")[-1] for b in node.bases
-                    )
-                elif isinstance(node, (ast.Assign, ast.AnnAssign)):
-                    targets = (
-                        node.targets if isinstance(node, ast.Assign) else [node.target]
-                    )
-                    if (
-                        len(targets) == 1
-                        and isinstance(targets[0], ast.Name)
-                        and targets[0].id == self._FACTORIES_NAME
-                        and isinstance(node.value, ast.Dict)
-                    ):
-                        registry_present = True
-                        for value in node.value.values:
-                            name = (_dotted(value) or "").split(".")[-1]
-                            if name:
-                                factory_classes.add(name)
-                elif isinstance(node, ast.Call):
-                    callee = (_dotted(node.func) or "").split(".")[-1]
-                    if callee == self._REGISTER_FUNC and len(node.args) >= 2:
-                        registry_present = True
-                        name = (_dotted(node.args[1]) or "").split(".")[-1]
-                        if name:
-                            runtime_registered.add(name)
+        for summary in project.summaries:
+            for name, line, col in summary.top_level_classes:
+                top_level.append((summary.relpath, name, line, col))
+            for name, info in summary.classes.items():
+                classes.setdefault(name, (summary.relpath, info))
+                bases.setdefault(name, set()).update(info.base_tails)
+            factory_classes.update(summary.factories)
+            runtime_registered.update(summary.register_calls)
+            registry_present = registry_present or summary.registry_present
 
         if not registry_present:
             return  # no registry in this lint set: nothing to join against
 
         subclasses = self._transitive_subclasses(bases)
         registered = factory_classes | runtime_registered
-        for module, node in top_level:
-            name = node.name
-            if name not in subclasses or self._is_abstract(node):
+        for relpath, name, line, col in top_level:
+            if name not in subclasses:
+                continue
+            known = classes.get(name)
+            if known is not None and known[1].is_abstract:
                 continue
             if name not in registered:
-                yield self.finding(
-                    module,
-                    node,
+                yield self.finding_at(
+                    relpath,
+                    line,
+                    col,
                     f"{name} subclasses {self._BASE} but is neither in "
                     f"{self._FACTORIES_NAME} nor registered via "
                     f"{self._REGISTER_FUNC}(); it is unreachable from "
                     "method specs",
                 )
         for name in sorted(factory_classes & set(classes)):
-            module, node = classes[name]
-            init = self._find_init(name, classes, bases)
-            if init is None:
+            relpath, info = classes[name]
+            sig = self._find_init_sig(name, classes, bases)
+            if sig is None:
                 continue
-            yield from self._check_init(module, node, name, init)
+            yield from self._check_init(relpath, info, name, sig)
 
     def _transitive_subclasses(self, bases: Dict[str, Set[str]]) -> Set[str]:
         known = {self._BASE}
@@ -930,20 +1014,13 @@ class RegistryCompleteness(Rule):
         known.discard(self._BASE)
         return known
 
-    def _is_abstract(self, node: ast.ClassDef) -> bool:
-        for item in node.body:
-            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                for decorator in item.decorator_list:
-                    if "abstractmethod" in (_dotted(decorator) or ""):
-                        return True
-        return False
-
-    def _find_init(
+    def _find_init_sig(
         self,
         name: str,
-        classes: Dict[str, Tuple[Module, ast.ClassDef]],
+        classes: Dict[str, Tuple[str, object]],
         bases: Dict[str, Set[str]],
-    ) -> Optional[ast.FunctionDef]:
+    ) -> Optional[Dict[str, object]]:
+        """The ``__init__`` signature summary along the local MRO."""
         seen: Set[str] = set()
         queue = [name]
         while queue:
@@ -951,33 +1028,32 @@ class RegistryCompleteness(Rule):
             if current in seen or current not in classes:
                 continue
             seen.add(current)
-            _module, node = classes[current]
-            for item in node.body:
-                if isinstance(item, ast.FunctionDef) and item.name == "__init__":
-                    return item
+            info = classes[current][1]
+            if info.init_sig is not None:
+                return info.init_sig
             queue.extend(sorted(bases.get(current, ())))
         return None
 
     def _check_init(
-        self, module: Module, cls: ast.ClassDef, name: str, init: ast.FunctionDef
+        self, relpath: str, info, name: str, sig: Dict[str, object]
     ) -> Iterator[Finding]:
-        args = init.args
-        if args.vararg is not None or args.kwarg is not None:
-            yield self.finding(
-                module,
-                cls,
+        if sig.get("varargs"):
+            yield self.finding_at(
+                relpath,
+                info.line,
+                info.col,
                 f"registered method {name}'s __init__ takes "
                 "*args/**kwargs; method_params() cannot introspect its "
                 "parameters, so specs lose up-front validation",
             )
             return
-        params = [a.arg for a in list(args.posonlyargs) + list(args.args)][1:]
-        params += [a.arg for a in args.kwonlyargs]
+        params = list(sig.get("params", ()))
         for required in ("k", "seed"):
             if required not in params:
-                yield self.finding(
-                    module,
-                    cls,
+                yield self.finding_at(
+                    relpath,
+                    info.line,
+                    info.col,
                     f"registered method {name}'s __init__ does not accept "
                     f"{required!r}; the registry instantiates factories "
                     "as factory(k, seed=..., **params)",
@@ -1171,3 +1247,12 @@ class RowwiseInteraction(Rule):
                 ):
                     attrs.add(node.attr)
         return attrs
+
+
+# ----------------------------------------------------------------------
+# interprocedural rules (RL011–RL013) live in flowrules.py; importing
+# the module registers them.  The import sits at the bottom so
+# flowrules can import Rule/register from this (partially initialised)
+# module without a cycle.
+
+from repro.lint import flowrules as _flowrules  # noqa: E402,F401

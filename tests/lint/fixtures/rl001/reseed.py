@@ -1,0 +1,11 @@
+"""RL001 fixture: argless reseeding pulls from OS entropy."""
+
+import random
+
+
+def reseed_paths():
+    rng = random.Random(7)
+    rng.seed()  # expect: RL001
+    rng.seed(11)
+    random.Random(3).seed()  # expect: RL001
+    return rng

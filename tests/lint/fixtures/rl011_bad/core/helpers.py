@@ -1,0 +1,11 @@
+"""Helpers two frames below the entry point."""
+
+import time
+
+
+def prepare(trace):
+    return jitter(trace)
+
+
+def jitter(trace):
+    return len(trace) + time.time()  # expect: RL003, RL011

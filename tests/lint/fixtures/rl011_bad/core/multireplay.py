@@ -1,0 +1,8 @@
+"""RL011 fixture: replay entry point reaching wall-clock reads."""
+
+from rl011_bad.core import helpers
+
+
+class MultiReplayEngine:
+    def run(self, trace):
+        return helpers.prepare(trace)

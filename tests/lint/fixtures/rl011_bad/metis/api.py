@@ -1,0 +1,7 @@
+"""RL011 fixture: partitioning entry point reaching unseeded RNG."""
+
+from rl011_bad.metis.refine import improve
+
+
+def part_graph(graph, k):
+    return improve(graph, k)

@@ -1,0 +1,7 @@
+"""Refinement helper drawing from the process-global RNG."""
+
+import random
+
+
+def improve(graph, k):
+    return random.random() * k  # expect: RL001, RL011

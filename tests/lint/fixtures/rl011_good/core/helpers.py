@@ -1,0 +1,16 @@
+"""Deterministic helpers: seeded RNG, monotonic timer only."""
+
+import random
+import time
+
+
+def prepare(trace, seed):
+    rng = random.Random(seed)
+    started = time.perf_counter()
+    order = shuffle_events(list(trace), rng)
+    return order, time.perf_counter() - started
+
+
+def shuffle_events(events, rng):
+    rng.shuffle(events)
+    return events

@@ -1,0 +1,8 @@
+"""RL011 fixture: replay entry whose whole call tree is deterministic."""
+
+from rl011_good.core import helpers
+
+
+class MultiReplayEngine:
+    def run(self, trace, seed):
+        return helpers.prepare(trace, seed)

@@ -1,0 +1,8 @@
+"""Wall-clock read that is *unreachable* from any replay entry point
+(and outside the RL003 scoped directories): neither rule fires."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,8 @@
+"""Helper with a sanctioned wall-clock read (progress logging only)."""
+
+import time
+
+
+def prepare(trace):
+    started = time.time()  # reprolint: disable=RL003,RL011 -- fixture: progress timestamp never enters replay results
+    return trace, started

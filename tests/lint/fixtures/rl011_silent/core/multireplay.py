@@ -1,0 +1,8 @@
+"""RL011 fixture: tainted chain silenced by a justified suppression."""
+
+from rl011_silent.core import helpers
+
+
+class MultiReplayEngine:
+    def run(self, trace):
+        return helpers.prepare(trace)

@@ -1,0 +1,33 @@
+"""RL012 fixture: unpicklable values crossing the pool boundary."""
+
+import concurrent.futures as futures
+
+from repro.graph.io import load_columnar
+
+_FORK_SHARED = None
+
+
+def _forked_chunk(keys):
+    log, window = _FORK_SHARED
+    return log.replay(window, keys)
+
+
+def run_chunk(payload):
+    return payload
+
+
+def run(path, chunks):
+    handle = open(path)
+    log = load_columnar(path)
+    results = []
+    with futures.ProcessPoolExecutor() as ex:
+        results.append(ex.submit(lambda: len(chunks)))  # expect: RL012
+
+        def helper(chunk):
+            return len(chunk)
+
+        results.append(ex.submit(helper, chunks))  # expect: RL012
+        results.append(ex.submit(_forked_chunk, chunks))  # expect: RL012
+        results.append(ex.submit(run_chunk, handle))  # expect: RL012
+        results.append(ex.submit(run_chunk, log))  # expect: RL012
+    return [r.result() for r in results]

@@ -1,0 +1,35 @@
+"""RL012 fixture: picklable-by-construction submits (clean).
+
+``_forked_chunk`` reads the ``_FORK_SHARED`` copy-on-write state but
+every submit of it sits behind a fork start-method guard; the spawn
+branch ships a plain (source, window, keys) payload instead.
+"""
+
+import concurrent.futures as futures
+import multiprocessing
+
+_FORK_SHARED = None
+
+
+def _forked_chunk(keys):
+    source, window = _FORK_SHARED
+    return source, window, keys
+
+
+def replay_chunk(source, window, keys):
+    return source, window, keys
+
+
+def run(source, window, chunks):
+    forked = multiprocessing.get_start_method() == "fork"
+    results = []
+    with futures.ProcessPoolExecutor() as ex:
+        if forked:
+            handles = [ex.submit(_forked_chunk, list(c)) for c in chunks]
+        else:
+            handles = [
+                ex.submit(replay_chunk, source, window, list(c)) for c in chunks
+            ]
+        for h in handles:
+            results.append(h.result())
+    return results

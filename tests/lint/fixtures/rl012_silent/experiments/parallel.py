@@ -1,0 +1,9 @@
+"""RL012 fixture: boundary violation silenced with a justification."""
+
+import concurrent.futures as futures
+
+
+def run(chunks):
+    with futures.ProcessPoolExecutor() as ex:
+        handle = ex.submit(lambda: len(chunks))  # reprolint: disable=RL012 -- fixture: demonstrating a justified boundary suppression
+    return handle.result()

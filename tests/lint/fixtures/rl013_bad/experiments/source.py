@@ -1,0 +1,24 @@
+"""RL013 fixture: LogSource subclasses with broken identity."""
+
+import dataclasses
+
+
+class LogSource:
+    def open(self):
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class SyntheticSource(LogSource):  # expect: RL013
+    scale: str = "small"
+    seed: int = 7
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSource(LogSource):
+    path: str = ""
+    fmt: str = "v3"  # expect: RL013
+
+    @property
+    def identity(self):
+        return f"trace:{self.path}"

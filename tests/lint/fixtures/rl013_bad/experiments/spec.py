@@ -1,0 +1,26 @@
+"""RL013 fixture: spec fields missing from the identity payload."""
+
+import dataclasses
+import hashlib
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodSpec:
+    name: str = "hash"
+    params: Tuple[int, ...] = ()  # expect: RL013
+
+    @property
+    def label(self):
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    scale: str = "small"
+    workload_seed: int = 42
+    window_hours: float = 24.0  # expect: RL013
+
+    def store_id(self):
+        payload = f"{self.scale}-w{self.workload_seed}"
+        return hashlib.sha256(payload.encode()).hexdigest()

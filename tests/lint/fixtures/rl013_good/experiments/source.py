@@ -1,0 +1,20 @@
+"""RL013 fixture: non-dataclass bases are exempt, subclasses covered."""
+
+import dataclasses
+
+
+class LogSource:
+    kind: str = "base"  # not a dataclass field: the base is exempt
+
+    def identity(self):
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class SyntheticSource(LogSource):
+    scale: str = "small"
+    seed: int = 7
+
+    @property
+    def identity(self):
+        return f"synthetic:{self.scale}:{self.seed}"

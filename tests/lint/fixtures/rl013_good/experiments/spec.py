@@ -1,0 +1,45 @@
+"""RL013 fixture: every field flows into the identity payload."""
+
+import dataclasses
+import hashlib
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodSpec:
+    name: str = "hash"
+    params: Tuple[int, ...] = ()
+
+    @property
+    def label(self):
+        suffix = "-".join(str(p) for p in self.params)
+        return f"{self.name}{suffix}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    scale: str = "small"
+    workload_seed: int = 42
+    window_hours: float = 24.0
+
+    def workload_id(self):
+        # coverage flows through the self.workload_id() dispatch
+        return f"{self.scale}-w{self.workload_seed}-win{self.window_hours:g}h"
+
+    def store_id(self):
+        return hashlib.sha256(self.workload_id().encode()).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionSpec:
+    mode: str = "in_memory"
+    shards: int = 1
+
+    @property
+    def identity(self):
+        # dataclasses.fields(self) introspection covers every field
+        parts = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in dataclasses.fields(self)
+        ]
+        return ",".join(parts)

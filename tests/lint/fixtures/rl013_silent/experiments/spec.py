@@ -1,0 +1,13 @@
+"""RL013 fixture: deliberate omission with a written justification."""
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    scale: str = "small"
+    ks: Tuple[int, ...] = (2,)  # reprolint: disable=RL013 -- fixture: cells are keyed per-k inside the store
+
+    def store_id(self):
+        return f"grid-{self.scale}"

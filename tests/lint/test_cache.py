@@ -1,0 +1,186 @@
+"""Incremental lint cache: hits, invalidation, and degradation paths.
+
+Every test drives the public ``lint_paths(..., use_cache=True)`` entry
+point against a small on-disk project, then inspects
+``LintReport.cache_stats`` — the same numbers the CLI reports under the
+``cache`` key of the ``reprolint/2`` JSON.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.cache import CACHE_SCHEMA, rules_signature
+
+PKG = {
+    # entry file: calls into helper.py, carries one RL001 finding
+    "pkg/runner.py": """
+        import random
+
+        from pkg.helper import prepare
+
+        def run(trace):
+            prepare(trace)
+            return random.random()
+    """,
+    # leaf: clean on its own
+    "pkg/helper.py": """
+        def prepare(trace):
+            return sorted(trace)
+    """,
+    # unrelated file with its own finding (and a suppressed one)
+    "pkg/other.py": """
+        import random
+
+        def f():
+            return random.random()
+
+        def g():
+            return random.random()  # reprolint: disable=RL001 -- test: suppressed on purpose
+    """,
+}
+
+
+def write_pkg(root, files=PKG):
+    for relpath, text in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+
+
+def run_cached(root, **kwargs):
+    return lint_paths(
+        [str(root / "pkg")],
+        use_cache=True,
+        cache_path=str(root / "cache.json"),
+        **kwargs,
+    )
+
+
+def as_triples(report):
+    return [(f.path, f.line, f.rule) for f in report.findings]
+
+
+class TestWarmRuns:
+    def test_full_hit_replays_findings_without_parsing(self, tmp_path):
+        write_pkg(tmp_path)
+        cold = run_cached(tmp_path)
+        warm = run_cached(tmp_path)
+        assert warm.findings == cold.findings
+        assert warm.suppressed == cold.suppressed == 1
+        assert cold.cache_stats["parsed"] == 3
+        assert warm.cache_stats == {
+            "hit": 3,
+            "parsed": 0,
+            "impacted": 0,
+            "parsed_files": [],
+            "impacted_files": [],
+        }
+
+    def test_cache_file_is_valid_schema_json(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        data = json.loads((tmp_path / "cache.json").read_text())
+        assert data["schema"] == CACHE_SCHEMA
+        assert data["rules"] == rules_signature()
+        assert set(data["files"]) == {
+            "pkg/runner.py", "pkg/helper.py", "pkg/other.py",
+        }
+
+    def test_no_cache_run_leaves_no_cache_file(self, tmp_path):
+        write_pkg(tmp_path)
+        report = lint_paths([str(tmp_path / "pkg")], use_cache=False)
+        assert report.cache_stats is None
+        assert not (tmp_path / "cache.json").exists()
+
+    def test_select_bypasses_the_cache(self, tmp_path):
+        write_pkg(tmp_path)
+        report = lint_paths(
+            [str(tmp_path / "pkg")],
+            select=["RL001"],
+            use_cache=True,
+            cache_path=str(tmp_path / "cache.json"),
+        )
+        assert report.cache_stats is None
+        assert not (tmp_path / "cache.json").exists()
+
+
+class TestInvalidation:
+    def test_leaf_edit_reparses_only_that_file(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        leaf = tmp_path / "pkg/helper.py"
+        leaf.write_text(leaf.read_text() + "\nEXTRA = 1\n")
+        warm = run_cached(tmp_path)
+        assert warm.cache_stats["parsed_files"] == ["pkg/helper.py"]
+        # runner.py calls into helper.py, so its interprocedural
+        # findings are impacted; other.py is not
+        assert warm.cache_stats["impacted_files"] == [
+            "pkg/helper.py", "pkg/runner.py",
+        ]
+
+    def test_partial_run_findings_match_cold(self, tmp_path):
+        write_pkg(tmp_path)
+        cold = run_cached(tmp_path)
+        (tmp_path / "pkg/helper.py").write_text("def prepare(trace):\n    return trace\n")
+        warm = run_cached(tmp_path)
+        assert as_triples(warm) == as_triples(cold)
+        assert warm.suppressed == cold.suppressed
+
+    def test_new_finding_in_edited_file_is_reported_warm(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        leaf = tmp_path / "pkg/helper.py"
+        leaf.write_text(
+            "import random\n\ndef prepare(trace):\n    return random.random()\n"
+        )
+        warm = run_cached(tmp_path)
+        assert ("pkg/helper.py", 4, "RL001") in as_triples(warm)
+
+    def test_deleted_file_invalidates_the_full_hit_path(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        (tmp_path / "pkg/other.py").unlink()
+        warm = run_cached(tmp_path)
+        assert warm.files == 2
+        assert all(not f.path.endswith("other.py") for f in warm.findings)
+
+    def test_rules_signature_mismatch_goes_cold(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        data = json.loads(cache_file.read_text())
+        data["rules"] = "0" * 64
+        cache_file.write_text(json.dumps(data))
+        warm = run_cached(tmp_path)
+        assert warm.cache_stats["hit"] == 0
+        assert warm.cache_stats["parsed"] == 3
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        (tmp_path / "cache.json").write_text("{not json")
+        warm = run_cached(tmp_path)
+        assert warm.cache_stats["hit"] == 0
+        assert as_triples(warm) == as_triples(run_cached(tmp_path))
+
+
+class TestChangedOnly:
+    def test_unchanged_tree_reports_nothing(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        warm = run_cached(tmp_path, changed_only=True)
+        assert warm.findings == ()
+        assert warm.exit_code == 0
+
+    def test_edit_reports_only_impacted_files(self, tmp_path):
+        write_pkg(tmp_path)
+        run_cached(tmp_path)
+        leaf = tmp_path / "pkg/helper.py"
+        leaf.write_text(leaf.read_text() + "\nEXTRA = 1\n")
+        warm = run_cached(tmp_path, changed_only=True)
+        # other.py's standing RL001 finding is filtered out; runner.py
+        # is in the impacted closure so its finding stays
+        paths = {f.path for f in warm.findings}
+        assert paths == {"pkg/runner.py"}

@@ -99,8 +99,8 @@ class TestParseErrors:
 
 
 class TestRegistry:
-    def test_ten_rules_registered(self):
-        assert sorted(RULES) == [f"RL{i:03d}" for i in range(1, 11)]
+    def test_thirteen_rules_registered(self):
+        assert sorted(RULES) == [f"RL{i:03d}" for i in range(1, 14)]
 
     def test_rules_have_docs_metadata(self):
         for rule_id in RULES:
@@ -138,10 +138,12 @@ class TestCli:
         out_file = tmp_path / "report.json"
         assert main([str(pkg), "--format", "json", "--output", str(out_file)]) == 1
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "reprolint/1"
+        assert data["schema"] == "reprolint/2"
         assert data["exit"] == 1
         assert data["files"] == 1
         assert data["counts"] == {"error": 1, "advice": 0, "suppressed": 0}
+        # cache-enabled CLI runs report cache statistics
+        assert data["cache"] == {"hit": 0, "parsed": 1, "impacted": 1}
         (finding,) = data["findings"]
         assert finding == {
             "file": "pkg/mod.py",
@@ -152,6 +154,19 @@ class TestCli:
             "message": finding["message"],
         }
         assert "process-global RNG" in finding["message"]
+
+    def test_json_schema_without_cache_omits_cache_key(self, tmp_path):
+        pkg = self._violating_tree(tmp_path)
+        out_file = tmp_path / "report.json"
+        assert (
+            main(
+                [str(pkg), "--no-cache", "--format", "json", "--output", str(out_file)]
+            )
+            == 1
+        )
+        data = json.loads(out_file.read_text())
+        assert data["schema"] == "reprolint/2"
+        assert "cache" not in data
 
     def test_findings_sorted_for_stable_diffs(self, tmp_path):
         write(tmp_path, "pkg/b.py", "import random\nX = random.random()\n")

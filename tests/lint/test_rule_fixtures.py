@@ -38,10 +38,15 @@ def expected_findings(fixture):
 
 
 def test_fixture_inventory():
-    # one project per rule (RL005/RL008 get good/bad/silent variants)
+    # one project per rule; cross-file rules (RL005/RL008, and the
+    # interprocedural RL011-RL013) get bad/good/silent variants
     assert {"rl001", "rl002", "rl003", "rl004", "rl005_bad", "rl005_good",
             "rl006", "rl007", "rl008_bad", "rl008_good", "rl008_silent",
-            "rl009", "rl010", "suppress"} <= set(FIXTURE_DIRS)
+            "rl009", "rl010",
+            "rl011_bad", "rl011_good", "rl011_silent",
+            "rl012_bad", "rl012_good", "rl012_silent",
+            "rl013_bad", "rl013_good", "rl013_silent",
+            "suppress"} <= set(FIXTURE_DIRS)
 
 
 @pytest.mark.parametrize("fixture", FIXTURE_DIRS)
