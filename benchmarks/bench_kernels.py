@@ -1,0 +1,226 @@
+"""KERNELS — per-kernel microloop gates + the paper-scale sweep.
+
+Two claims are enforced here, matching the kernel layer's contract
+(``src/repro/kernels``):
+
+* **micro gates** — every kernel a backend lists in its
+  ``ACCELERATED`` set must beat the ``pure`` reference by >= 3x on its
+  microloop over this run's workload columns.  Backends deliberately
+  claim only what measures true at the paper's workload shape: numpy
+  claims the whole-array kernels (window accounting over large ranges,
+  static-cut recounts, CSR cut scans) and *not* the per-metric-window
+  stream kernels, where ~100-row windows make the per-call overhead
+  dominate; the stdlib ``array`` backend claims none and exists as the
+  no-dependency second implementation.
+
+* **paper-scale sweep** — the five-method fig5 grid
+  (``PAPER_ORDER`` x k in {2, 4, 8}, warm METIS family) replayed from
+  an exported v3 trace must produce byte-identical ``ResultSet``
+  output under every installed backend, and the per-method wall-clock
+  split lands in ``benchmarks/out/paper_scale_sweep.txt``.
+
+Timing gates follow the house rule: asserted when the scale is
+``medium``/``large`` or ``REPRO_BENCH_STRICT`` is set (single-round
+small-scale timings on shared runners are noise); the measured table
+is always written.
+"""
+
+import os
+import time
+from array import array
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro import kernels
+from repro.analysis.render import ascii_table
+from repro.experiments.run import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.graph.columnar import ColumnarLog
+from repro.graph.io import write_columnar
+from repro.kernels import StreamState
+from repro.metis.graph import CSRGraph
+
+GATE = 3.0
+SWEEP_METHODS = (
+    "hash", "kl", "metis?warm=true", "p-metis?warm=true", "tr-metis?warm=true",
+)
+SWEEP_KS = (2, 4, 8)
+
+
+def _gating(bench_scale: str) -> bool:
+    return bench_scale in ("medium", "large") or bool(
+        os.environ.get("REPRO_BENCH_STRICT")
+    )
+
+
+def _best_of(fn, reps: int = 5) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _micro_loops(clog: ColumnarLog):
+    """Name -> zero-arg microloop, per backend resolution at call time.
+
+    Each loop is the kernel's natural batch unit at this scale: the
+    whole column range (what cold starts, recounts and snapshots pay)
+    — the unit the ACCELERATED speedup claims are made on.
+    """
+    ts, src, dst = clog.timestamps(), clog.src_indices(), clog.dst_indices()
+    tx = clog.tx_ids()
+    sk, dk = clog.src_kind_codes(), clog.dst_kind_codes()
+    n = len(clog)
+    k = 4
+    shard = array("i", [(7 * v) % k for v in range(clog.num_vertices)])
+
+    with kernels.using_backend("pure"):
+        kp = kernels.active()
+        batch = kp.window_pass(ts, src, dst, tx, sk, dk, 0, n, StreamState())
+        state = StreamState()
+        state.record_new_edges(batch.new_edges)
+        xadj, adjncy, adjwgt, vwgt, _ = kp.csr_from_window(src, dst, 0, n, "unit")
+    graph = CSRGraph(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt)
+    part = [shard[v] for v in range(graph.num_vertices)]
+    part_holes = list(part)
+    for v in range(0, len(part_holes), 7):
+        part_holes[v] = -1
+
+    def acc_loop():
+        acc = kernels.active().CSRAccumulator()
+        acc.advance(src, dst, 0, n)
+        return acc.snapshot("unit")
+
+    kr = kernels.active  # resolved inside each lambda: current backend
+    return {
+        "window_pass": lambda: kr().window_pass(
+            ts, src, dst, tx, sk, dk, 0, n, StreamState()),
+        "account_window": lambda: kr().account_window(
+            src, dst, 0, n, batch.new_edges, shard, k),
+        "static_cut_count": lambda: kr().static_cut_count(
+            state.esrc, state.edst, shard),
+        "max_index": lambda: kr().max_index(src, dst, 0, n),
+        "csr_accumulate": acc_loop,
+        "csr_from_window": lambda: kr().csr_from_window(src, dst, 0, n, "unit"),
+        "graph_batch": lambda: kr().graph_batch(ts, src, dst, sk, dk, 0, n),
+        "part_weights": lambda: kr().part_weights(graph, part, k),
+        "boundary_list": lambda: kr().boundary_list(graph, part),
+        "cut_value": lambda: kr().cut_value(graph, part),
+        "unassigned_list": lambda: kr().unassigned_list(part_holes),
+    }
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_micro_gates(runner, bench_scale, out_dir):
+    clog = ColumnarLog(runner.workload.builder.log)
+    loops = _micro_loops(clog)
+    backends = [b for b in kernels.available_backends() if b != "pure"]
+
+    with kernels.using_backend("pure"):
+        pure_times = {name: _best_of(fn) for name, fn in loops.items()}
+
+    rows = []
+    failures = []
+    for backend in backends:
+        with kernels.using_backend(backend):
+            claimed = getattr(kernels.active(), "ACCELERATED", frozenset())
+            for name, fn in loops.items():
+                t = _best_of(fn)
+                speedup = pure_times[name] / t if t > 0 else float("inf")
+                gated = name in claimed
+                rows.append((
+                    name, backend,
+                    f"{pure_times[name] * 1e3:.2f}", f"{t * 1e3:.2f}",
+                    f"{speedup:.2f}x", "yes" if gated else "",
+                ))
+                if gated and speedup < GATE:
+                    failures.append(f"{backend}:{name} {speedup:.2f}x < {GATE}x")
+
+    table = ascii_table(
+        ("kernel", "backend", "pure ms", "backend ms", "speedup", ">=3x gate"),
+        rows,
+    )
+    write_artifact(
+        out_dir, "kernels_micro.txt",
+        f"kernel microloops, scale={bench_scale}, rows={len(clog)}\n{table}",
+    )
+    if _gating(bench_scale):
+        assert not failures, "; ".join(failures)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_paper_scale_sweep(runner, bench_scale, out_dir, tmp_path):
+    """Five-method fig5 grid from an exported v3 trace, every backend.
+
+    Byte-identity of the serialized ResultSet across backends is
+    asserted unconditionally — it is the kernel layer's core contract.
+    The artifact records the per-method wall-clock split and the
+    per-backend grid totals.
+    """
+    trace = tmp_path / f"sweep_{bench_scale}.rct"
+    clog = ColumnarLog(runner.workload.builder.log)
+    write_columnar(clog, trace, version=3)
+    spec = ExperimentSpec(
+        methods=SWEEP_METHODS, ks=SWEEP_KS, window_hours=24.0,
+        source=str(trace),
+    )
+
+    dumps = {}
+    totals = {}
+    for backend in kernels.available_backends():
+        with kernels.using_backend(backend):
+            t0 = time.perf_counter()
+            dumps[backend] = run_experiment(spec).dumps()
+            totals[backend] = time.perf_counter() - t0
+    reference = dumps["pure"]
+    for backend, text in dumps.items():
+        assert text == reference, (
+            f"ResultSet under {backend} diverges from pure — "
+            "kernel bit-identity contract broken"
+        )
+
+    # per-method split (shared-stream pass per method, all ks at once)
+    split = []
+    for method in SWEEP_METHODS:
+        single = ExperimentSpec(
+            methods=(method,), ks=SWEEP_KS, window_hours=24.0,
+            source=str(trace),
+        )
+        t0 = time.perf_counter()
+        run_experiment(single)
+        split.append((method, time.perf_counter() - t0))
+
+    grid_cells = len(SWEEP_METHODS) * len(SWEEP_KS)
+    lines = [
+        f"paper-scale five-method sweep  (scale={bench_scale}, "
+        f"rows={len(clog)}, v3 trace, k in {list(SWEEP_KS)}, "
+        f"{grid_cells} cells, warm METIS)",
+        "",
+        "per-method wall-clock split (single-method pass over all ks):",
+        ascii_table(
+            ("method", "seconds", "share"),
+            [
+                (m, f"{s:.2f}", f"{100 * s / sum(s for _, s in split):.0f}%")
+                for m, s in split
+            ],
+        ),
+        "",
+        "full-grid single-pass totals per kernel backend "
+        "(ResultSet byte-identical across all):",
+        ascii_table(
+            ("backend", "seconds", "vs pure"),
+            [
+                (b, f"{t:.2f}", f"{totals['pure'] / t:.2f}x")
+                for b, t in totals.items()
+            ],
+        ),
+        "",
+        "note: the grid is partitioner-bound (KL repartitioning and METIS",
+        "refinement are backend-independent python graph algorithms), so",
+        "backend choice moves the whole-grid total ~10%; the >=3x kernel",
+        "speedups are enforced per-microloop — see kernels_micro.txt.",
+    ]
+    write_artifact(out_dir, "paper_scale_sweep.txt", "\n".join(lines))

@@ -81,11 +81,23 @@ class ReplayContext:
 
     @property
     def period_graph(self) -> WeightedDiGraph:
-        """Reduced graph of interactions since the last repartitioning."""
-        if self._period_graph_cache is None:
-            from repro.graph.builder import build_graph
+        """Reduced graph of interactions since the last repartitioning.
 
-            self._period_graph_cache = build_graph(self.period_interactions)
+        With a columnar log underneath, the graph is aggregated by the
+        batch kernels straight from the dense columns (identical output,
+        no per-row Interaction boxing); otherwise it falls back to the
+        boxed builder.
+        """
+        if self._period_graph_cache is None:
+            if self.columnar_log is not None:
+                from repro.graph.builder import build_graph_columnar
+
+                self._period_graph_cache = build_graph_columnar(
+                    self.columnar_log, self.log_period_start, self.log_hi)
+            else:
+                from repro.graph.builder import build_graph
+
+                self._period_graph_cache = build_graph(self.period_interactions)
         return self._period_graph_cache
 
     @property
@@ -119,6 +131,9 @@ class PartitionMethod(abc.ABC):
         self.k = k
         self.seed = seed
         self.rng = random.Random(seed)
+        # reused by the default batch placement path so the min-cut
+        # rule does not allocate an affinity map per vertex
+        self._mincut_scratch: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -147,6 +162,38 @@ class PartitionMethod(abc.ABC):
         balance.
         """
         return place_by_min_cut(vertex, tx_endpoints, assignment)
+
+    def place_new_vertices(
+        self,
+        vertices: Sequence[int],
+        tx_endpoints: Sequence[int],
+        assignment: ShardAssignment,
+    ) -> None:
+        """Place every not-yet-assigned vertex of one transaction bucket.
+
+        The replay engine calls this with the bucket's first-seen
+        vertices in appearance order instead of testing every endpoint
+        per method.  Contract: placements happen sequentially in the
+        given order, and placement rules may read the assignment's map
+        and per-shard vertex *counts* but never the activity weights
+        (the engine folds those in separately after placement).
+        Subclasses with per-vertex scratch state override this; the
+        default routes through :meth:`place_vertex`, feeding the
+        min-cut rule a reused scratch map when it is not overridden.
+        """
+        if type(self).place_vertex is PartitionMethod.place_vertex:
+            scratch = self._mincut_scratch
+            for v in vertices:
+                if v not in assignment:
+                    assignment.assign(
+                        v,
+                        place_by_min_cut(v, tx_endpoints, assignment, scratch),
+                    )
+        else:
+            for v in vertices:
+                if v not in assignment:
+                    assignment.assign(
+                        v, self.place_vertex(v, tx_endpoints, assignment))
 
     @abc.abstractmethod
     def maybe_repartition(self, ctx: ReplayContext) -> Optional[Mapping[int, int]]:

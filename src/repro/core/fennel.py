@@ -52,6 +52,11 @@ class FennelPartitioner(PartitionMethod):
         super().__init__(k, seed)
         self.gamma = gamma
         self.power = power
+        # scratch for the batch placement path: one affinity buffer and
+        # one seen-set reused across placements instead of fresh
+        # allocations per vertex
+        self._affinity_scratch = [0.0] * k
+        self._seen_scratch: set = set()
 
     def place_vertex(
         self,
@@ -91,6 +96,54 @@ class FennelPartitioner(PartitionMethod):
                 best_score = score
                 best_shard = s
         return best_shard
+
+    def place_new_vertices(
+        self,
+        vertices: Sequence[int],
+        tx_endpoints: Sequence[int],
+        assignment: ShardAssignment,
+    ) -> None:
+        # batch form of place_vertex over one transaction bucket:
+        # identical affinity/score arithmetic in identical order, but
+        # the affinity buffer and the distinct-endpoint set are scratch
+        # state zeroed between vertices rather than re-allocated.
+        # Placements are sequential — each score sees the counts left
+        # by the previous assign, exactly like the per-vertex path.
+        k = self.k
+        affinity = self._affinity_scratch
+        seen = self._seen_scratch
+        shard_of = assignment._map.get
+        counts = assignment._counts
+        gamma = self.gamma
+        power = self.power
+        touched: list = []
+        for vertex in vertices:
+            if vertex in assignment:
+                continue
+            seen.clear()
+            add_seen = seen.add
+            for other in tx_endpoints:
+                if other == vertex or other in seen:
+                    continue
+                add_seen(other)
+                shard = shard_of(other)
+                if shard is not None:
+                    affinity[shard] += 1.0
+                    touched.append(shard)
+
+            total = sum(counts)
+            avg = max(total / k, 1.0)
+            best_shard = 0
+            best_score = float("-inf")
+            for s, count in enumerate(counts):
+                score = affinity[s] - gamma * (count / avg) ** power
+                if score > best_score:
+                    best_score = score
+                    best_shard = s
+            for s in touched:
+                affinity[s] = 0.0
+            del touched[:]
+            assignment.assign(vertex, best_shard)
 
     def maybe_repartition(self, ctx: ReplayContext) -> Optional[Mapping[int, int]]:
         return None  # streaming: placement is final, like HASH

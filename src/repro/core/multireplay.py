@@ -39,16 +39,21 @@ the engine directly for one-off method studies.
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Optional, Sequence, Union
 
+from repro import kernels
 from repro.core.assignment import ShardAssignment
 from repro.core.base import PartitionMethod, RepartitionEvent, ReplayContext
-from repro.core.replay import ReplayResult, apply_proposal, recount_static_cut
-from repro.graph.builder import Interaction, group_by_transaction
-from repro.graph.columnar import ColumnarLog
-from repro.graph.digraph import WeightedDiGraph
+from repro.core.replay import ReplayResult, apply_proposal
+from repro.graph.builder import Interaction
+from repro.graph.columnar import _KIND_LIST, ColumnarLog
+from repro.graph.digraph import VertexKind, WeightedDiGraph
 from repro.graph.snapshot import METRIC_WINDOW
+from repro.kernels import PACK_MASK, PACK_SHIFT, StreamState
 from repro.metrics.series import MetricPoint, MetricSeries
+
+_CONTRACT = VertexKind.CONTRACT
 
 
 class _LogView(Sequence):
@@ -94,6 +99,7 @@ class _MethodState:
     __slots__ = (
         "method", "k", "assignment", "series", "events",
         "static_cut", "total_moves", "last_repartition_ts", "period_start",
+        "shard_arr",
     )
 
     def __init__(self, method: PartitionMethod, first_ts: float):
@@ -108,6 +114,9 @@ class _MethodState:
         # index into the shared log where this method's current
         # repartition period begins
         self.period_start = 0
+        # the assignment mirrored as a dense-index array (shard of the
+        # vertex with dense index i) — the accounting kernels' input
+        self.shard_arr = array("i")
 
     def result(self, graph: WeightedDiGraph) -> ReplayResult:
         return ReplayResult(
@@ -147,12 +156,18 @@ class MultiReplayEngine:
         if isinstance(interactions, ColumnarLog):
             self.clog: Optional[ColumnarLog] = interactions
             self.log: Sequence[Interaction] = interactions
+            self._kclog = interactions
             n = len(interactions)
             first = interactions.first_timestamp if n else 0.0
             last = interactions.last_timestamp if n else 0.0
         else:
             self.clog = None
             self.log = interactions
+            # the batch kernels consume dense columns, so a plain
+            # sequence is interned into a private ColumnarLog up front;
+            # ``clog`` stays None on purpose — methods gate columnar
+            # fast paths (warm METIS) on the *caller* providing one
+            self._kclog = ColumnarLog(interactions)
             n = len(interactions)
             first = interactions[0].timestamp if n else 0.0
             last = interactions[-1].timestamp if n else 0.0
@@ -172,11 +187,27 @@ class MultiReplayEngine:
         """One pass over the log; results in ``methods`` order."""
         log = self.log
         clog = self.clog
+        kclog = self._kclog
         n_log = len(log)
         metric_window = self.metric_window
         end_ts = self.end_ts
 
+        # batch-kernel inputs: the raw dense columns and the shared
+        # stream state (max streamed vertex, distinct-edge set)
+        kr = kernels.active()
+        stream = StreamState()
+        ts_col = kclog.timestamps()
+        src_col = kclog.src_indices()
+        dst_col = kclog.dst_indices()
+        tx_col = kclog.tx_ids()
+        sk_col = kclog.src_kind_codes()
+        dk_col = kclog.dst_kind_codes()
+        vertex_id = kclog.vertex_id
+
         graph = WeightedDiGraph()
+        add_vertex = graph.add_vertex
+        add_edge = graph.add_edge
+        add_vertex_weight = graph.add_vertex_weight
         for m in self.methods:
             m.begin_replay()
         states = [_MethodState(m, self._first_ts) for m in self.methods]
@@ -187,86 +218,78 @@ class MultiReplayEngine:
 
         while window_start < end_ts:
             window_end = window_start + metric_window
-
-            # slice this window's interactions off the shared log
             lo = idx
-            if clog is not None:
-                idx = max(clog.index_at(window_end), lo)
-                window: Sequence[Interaction] = clog[lo:idx]
-            else:
-                while idx < n_log and log[idx].timestamp < window_end:
-                    idx += 1
-                window = log[lo:idx]
+            idx = max(kclog.index_at(window_end), lo)
 
-            # shared pass: grow the cumulative graph exactly once and
-            # precompute, per transaction bucket, the placement input
-            # (endpoint appearance order) and the accounting rows
-            # (src, dst, new-edge?) every method will replay against its
-            # own assignment
-            bucket_inputs: List = []
-            for _tx_id, bucket in group_by_transaction(window):
+            # shared pass: one kernel call bucketises the window
+            # (first-seen vertices per transaction, edge/vertex weight
+            # folds, never-seen-before edges), then the cumulative graph
+            # grows in bulk — vertex and adjacency insertion orders are
+            # identical to the per-row legacy loop (the kernel contract,
+            # see docs/kernels.md)
+            batch = kr.window_pass(
+                ts_col, src_col, dst_col, tx_col, sk_col, dk_col,
+                lo, idx, stream)
+            new_pairs: List = []
+            for dense, kind_code, first_ts in batch.first_seen:
+                raw = vertex_id(dense)
+                new_pairs.append((dense, raw))
+                add_vertex(raw, _KIND_LIST[kind_code], 0, first_ts)
+            for dense in batch.upgrades:
+                add_vertex(vertex_id(dense), _CONTRACT)
+            for packed, weight in batch.edge_weights.items():
+                add_edge(vertex_id(packed >> PACK_SHIFT),
+                         vertex_id(packed & PACK_MASK), weight)
+            for dense, delta in batch.vertex_weights.items():
+                add_vertex_weight(vertex_id(dense), delta)
+            # static cut counts distinct *directed* edges, per the
+            # paper's directed-graph formulation
+            distinct_edges += len(batch.new_edges)
+            stream.record_new_edges(batch.new_edges)
+
+            # placement inputs, shared across methods: the raw endpoint
+            # appearance list of each transaction bucket that introduced
+            # at least one first-seen vertex (all other buckets skip the
+            # placement loop entirely)
+            group_inputs: List = []
+            for g_lo, g_hi, new_dense in batch.placement_groups:
                 endpoints: List[int] = []
                 append_endpoint = endpoints.append
-                for it in bucket:
-                    append_endpoint(it.src)
-                    append_endpoint(it.dst)
-                for it in bucket:
-                    graph.add_vertex(it.src, it.src_kind, 0, it.timestamp)
-                    graph.add_vertex(it.dst, it.dst_kind, 0, it.timestamp)
-                rows: List = []
-                append_row = rows.append
-                for it in bucket:
-                    src, dst = it.src, it.dst
-                    is_new_edge = not graph.has_edge(src, dst)
-                    graph.add_vertex_weight(src, 1)
-                    if dst != src:
-                        graph.add_vertex_weight(dst, 1)
-                    graph.add_edge(src, dst, 1)
-                    if src != dst and is_new_edge:
-                        # static cut counts distinct *directed* edges,
-                        # per the paper's directed-graph formulation
-                        distinct_edges += 1
-                    append_row((src, dst, is_new_edge))
-                bucket_inputs.append((endpoints, rows))
+                for i in range(g_lo, g_hi):
+                    append_endpoint(vertex_id(src_col[i]))
+                    append_endpoint(vertex_id(dst_col[i]))
+                group_inputs.append(
+                    ([vertex_id(d) for d in new_dense], endpoints))
+
+            window_rows = idx - lo
+            window_view = _LogView(log, lo, idx)
 
             # fan-out: placement, accounting and the window close for
-            # each method, with its state bound once per window
+            # each method.  Placement first, bulk accounting second —
+            # equivalent to the legacy interleaved walk because
+            # placement rules read only the shard map and vertex counts,
+            # never the activity weights accounting mutates.
             for st in states:
                 method = st.method
                 assignment = st.assignment
                 k = st.k
-                place_vertex = method.place_vertex
-                assign = assignment.assign
-                # hot path: bind the assignment's internals once per
-                # window instead of paying a method call per endpoint
-                # (equivalent to assignment[v] / assignment.add_weight)
                 shard_map = assignment._map
+                shard_arr = st.shard_arr
+                if new_pairs:
+                    shard_arr.extend([-1] * len(new_pairs))
+                    place_new = method.place_new_vertices
+                    for new_raws, endpoints in group_inputs:
+                        place_new(new_raws, endpoints, assignment)
+                    for dense, raw in new_pairs:
+                        shard_arr[dense] = shard_map[raw]
+
+                wcut, wtotal, load, weight_delta, static_delta = (
+                    kr.account_window(src_col, dst_col, lo, idx,
+                                      batch.new_edges, shard_arr, k))
                 shard_weights = assignment._weights
-                load = [0] * k
-                wcut = 0
-                wtotal = 0
-                static_cut = st.static_cut
-                for endpoints, rows in bucket_inputs:
-                    for v in endpoints:
-                        if v not in shard_map:
-                            assign(v, place_vertex(v, endpoints, assignment))
-                    for src, dst, is_new_edge in rows:
-                        s_src = shard_map[src]
-                        shard_weights[s_src] += 1
-                        if src == dst:
-                            continue
-                        s_dst = shard_map[dst]
-                        shard_weights[s_dst] += 1
-                        if s_src != s_dst:
-                            if is_new_edge:
-                                static_cut += 1
-                            wcut += 1
-                            load[s_src] += 1
-                            load[s_dst] += 1
-                        else:
-                            load[s_src] += 2
-                        wtotal += 1
-                st.static_cut = static_cut
+                for shard in range(k):
+                    shard_weights[shard] += weight_delta[shard]
+                st.static_cut += static_delta
 
                 # window close: metrics, repartition offer, series point
                 dyn_cut = wcut / wtotal if wtotal else 0.0
@@ -280,7 +303,7 @@ class MultiReplayEngine:
                     k=k,
                     assignment=assignment,
                     graph=graph,
-                    window_interactions=window,
+                    window_interactions=window_view,
                     period_interactions=_LogView(log, st.period_start, idx),
                     last_repartition_ts=st.last_repartition_ts,
                     window_dynamic_edge_cut=dyn_cut,
@@ -294,7 +317,18 @@ class MultiReplayEngine:
                 if proposal is not None:
                     moves = apply_proposal(proposal, assignment, graph)
                     st.total_moves += moves
-                    st.static_cut = recount_static_cut(graph, assignment)
+                    # resync the dense mirror for moved vertices, then
+                    # recount the static cut over the accumulated
+                    # distinct-edge arrays (identical to walking the
+                    # graph's edges: they are the same edge set)
+                    index_of = kclog._index()
+                    n_streamed = len(shard_arr)
+                    for raw in proposal:
+                        dense = index_of.get(raw)
+                        if dense is not None and dense < n_streamed:
+                            shard_arr[dense] = shard_map[raw]
+                    st.static_cut = kr.static_cut_count(
+                        stream.esrc, stream.edst, shard_arr)
                     st.period_start = idx
                     st.last_repartition_ts = window_end
                     st.events.append(
@@ -316,7 +350,7 @@ class MultiReplayEngine:
                         static_balance=assignment.static_balance(),
                         dynamic_balance=dyn_balance,
                         cumulative_moves=st.total_moves,
-                        interactions=len(window),
+                        interactions=window_rows,
                     )
                 )
 

@@ -13,8 +13,7 @@ ABL-PLACE ablation.
 from __future__ import annotations
 
 import random
-from collections import Counter
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.assignment import ShardAssignment
 from repro.ethereum.types import address_hash
@@ -24,6 +23,7 @@ def place_by_min_cut(
     vertex: int,
     tx_endpoints: Sequence[int],
     assignment: ShardAssignment,
+    scratch: Optional[Dict[int, int]] = None,
 ) -> int:
     """Pick the shard minimising new edge-cut, tie-break on balance.
 
@@ -31,20 +31,30 @@ def place_by_min_cut(
     transaction minimises the number of freshly-cut edges.  Among
     equally good shards the emptiest (by vertex count) wins; a vertex
     with no assigned co-endpoints goes to the emptiest shard outright.
+
+    ``scratch``, when given, is an *empty* dict the affinity counts are
+    built in and which is cleared again before returning — the batch
+    placement path reuses one map across all placements of a replay
+    instead of allocating per vertex.  Shard iteration order (and so
+    tie-breaking) is identical either way: insertion-ordered by first
+    assigned co-endpoint.
     """
-    affinity: Counter = Counter()
+    affinity: Dict[int, int] = {} if scratch is None else scratch
+    shard_of = assignment.shard_of
     for other in tx_endpoints:
         if other == vertex:
             continue
-        shard = assignment.shard_of(other)
+        shard = shard_of(other)
         if shard is not None:
-            affinity[shard] += 1
+            affinity[shard] = affinity.get(shard, 0) + 1
 
     if not affinity:
         return assignment.lightest_shard()
 
     best_affinity = max(affinity.values())
     candidates = [s for s, c in affinity.items() if c == best_affinity]
+    if scratch is not None:
+        scratch.clear()
     if len(candidates) == 1:
         return candidates[0]
     counts = assignment.counts

@@ -12,6 +12,7 @@ import dataclasses
 import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro import kernels
 from repro.graph.builder import Interaction, group_by_transaction
 from repro.graph.columnar import ColumnarLog
 from repro.graph.digraph import VertexKind, WeightedDiGraph
@@ -103,7 +104,7 @@ def compute_trace_stats(
 ) -> TraceStats:
     """Full descriptive report of a graph + its interaction log."""
     tx_sizes = [len(bucket) for _, bucket in group_by_transaction(log)]
-    self_loops = sum(1 for it in log if it.src == it.dst)
+    self_loops = sum(1 for it in log if it.src == it.dst)  # reprolint: disable=RL010 -- one-shot descriptive stats over a boxed log
     span = (log[-1].timestamp - log[0].timestamp) / 86400.0 if log else 0.0
     return TraceStats(
         interactions=len(log),
@@ -137,16 +138,18 @@ def compute_window_stats(
     """Per-window interaction counts and distinct-vertex growth.
 
     Window boundaries resolve with two bisects on the (possibly
-    mmap-backed) timestamp column; vertex growth is one running-max
-    scan of the dense src/dst index columns — interning is in
-    first-appearance order, so the number of distinct vertices after
-    row ``r`` is ``max(index seen) + 1``.  O(N) total, no boxing.
+    mmap-backed) timestamp column; vertex growth is the ``max_index``
+    batch kernel per window over the dense src/dst index columns —
+    interning is in first-appearance order, so the number of distinct
+    vertices after row ``r`` is ``max(index seen) + 1``.  O(N) total,
+    no boxing.
     """
     if window_seconds <= 0:
         raise ValueError("window_seconds must be positive")
     n = len(log)
     if n == 0:
         return []
+    kr = kernels.active()
     src = log.src_indices()
     dst = log.dst_indices()
     out: List[WindowStats] = []
@@ -163,11 +166,9 @@ def compute_window_stats(
     while start <= end_ts:
         hi = log.index_at(start + window_seconds)
         prev_distinct = seen_max + 1
-        for i in range(lo, hi):
-            if src[i] > seen_max:
-                seen_max = src[i]
-            if dst[i] > seen_max:
-                seen_max = dst[i]
+        win_max = kr.max_index(src, dst, lo, hi)
+        if win_max > seen_max:
+            seen_max = win_max
         distinct = seen_max + 1
         out.append(WindowStats(
             index=index,

@@ -1169,14 +1169,16 @@ class RowwiseInteraction(Rule):
     name = "rowwise-interaction"
     severity = SEVERITY_ADVICE
     rationale = (
-        "the ROADMAP names these modules as batch-kernel targets: "
-        "per-row Interaction attribute access in their loops is the "
-        "Ethereum-scale bottleneck — prefer bulk operations over the "
-        "dense ColumnarLog columns"
+        "the replay/partitioning hot path runs on batch kernels over "
+        "dense ColumnarLog columns (repro.kernels): a per-row "
+        "Interaction attribute loop in a kernel-dispatching module or a "
+        "ROADMAP batch-kernel target reintroduces the Ethereum-scale "
+        "bottleneck those kernels removed"
     )
     example = "for it in window: graph.add_edge(it.src, it.dst, 1)"
 
-    #: (directory segment, module basename) pairs the ROADMAP names
+    #: (directory segment, module basename) pairs the ROADMAP names —
+    #: flagged even before they dispatch to kernels
     _TARGETS = (
         ("core", "multireplay.py"),
         ("core", "fennel.py"),
@@ -1191,12 +1193,48 @@ class RowwiseInteraction(Rule):
     )
 
     def applies(self, module: Module) -> bool:
+        # a module becomes a target either by being named in the ROADMAP
+        # list or by already dispatching to the kernel layer — converted
+        # modules stay in scope so a *new* per-row loop is still flagged
         return any(
             module.basename == basename and module.in_dirs(segment)
             for segment, basename in self._TARGETS
-        )
+        ) or self._dispatches_to_kernels(module)
+
+    def _dispatches_to_kernels(self, module: Module) -> bool:
+        """True if the module contains a kernel-dispatch call site.
+
+        Recognised forms: ``kernels.active()`` (any import spelling of
+        the ``repro.kernels`` package) and a bare ``active()`` when the
+        name was imported from the kernels package.
+        """
+        bare_active = False
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[-1] == "kernels":
+                    bare_active |= any(
+                        (alias.asname or alias.name) == "active"
+                        for alias in node.names
+                    )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func) or ""
+            if dotted == "kernels.active" or dotted.endswith(".kernels.active"):
+                return True
+            if bare_active and dotted == "active":
+                return True
+        return False
 
     def check_module(self, module: Module) -> Iterator[Finding]:
+        dispatches = self._dispatches_to_kernels(module)
+        hint = (
+            "this module already dispatches to repro.kernels — route "
+            "the loop through a batch kernel"
+            if dispatches
+            else "this module is a ROADMAP batch-kernel target — "
+            "consider bulk kernels over ColumnarLog columns"
+        )
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 loop_vars = self._target_names(node.target)
@@ -1223,9 +1261,7 @@ class RowwiseInteraction(Rule):
                     module,
                     node,
                     "loop reads Interaction attributes "
-                    f"({', '.join(sorted(attrs))}) per row; this module "
-                    "is a ROADMAP batch-kernel target — consider bulk "
-                    "kernels over ColumnarLog columns",
+                    f"({', '.join(sorted(attrs))}) per row; {hint}",
                 )
 
     def _target_names(self, target: ast.AST) -> Set[str]:

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.errors import PartitionError
 from repro.graph.undirected import UndirectedView
 
@@ -138,38 +139,16 @@ class CSRGraph:
         _validate_vertex_weights(vertex_weights)  # fail before the scan
         if stop is None:
             stop = len(log)
-        src_col = log.src_indices()
-        dst_col = log.dst_indices()
-        local: Dict[int, int] = {}       # dense log index -> local CSR index
-        adj: List[Dict[int, int]] = []   # local adjacency accumulators
-        activity: List[int] = []
-        # NOTE: the per-row fold below is the compacting twin of
-        # ColumnarCSRBuilder.advance (dense indices, no remap) — keep
-        # the conventions in lockstep; tests pin their equivalence.
-        for i in range(start, stop):
-            s = src_col[i]
-            d = dst_col[i]
-            ls = local.get(s)
-            if ls is None:
-                ls = local[s] = len(adj)
-                adj.append({})
-                activity.append(0)
-            activity[ls] += 1
-            if d == s:
-                continue
-            ld = local.get(d)
-            if ld is None:
-                ld = local[d] = len(adj)
-                adj.append({})
-                activity.append(0)
-            activity[ld] += 1
-            adj_s = adj[ls]
-            adj_s[ld] = adj_s.get(ld, 0) + 1
-            adj_d = adj[ld]
-            adj_d[ls] = adj_d.get(ls, 0) + 1
-
-        orig_ids = [log.vertex_id(dense) for dense in local]
-        return _emit_csr(adj, activity, vertex_weights, orig_ids)
+        # batch kernel: the bucketing runs at distinct-row level in the
+        # active backend; local numbering and adjacency order are
+        # bit-identical to the old per-row fold (the kernel contract)
+        xadj, adjncy, adjwgt, vwgt, dense_ids = kernels.active().csr_from_window(
+            log.src_indices(), log.dst_indices(), start, stop, vertex_weights)
+        orig_ids = [log.vertex_id(dense) for dense in dense_ids]
+        return cls(
+            xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt,
+            orig_ids=orig_ids,
+        )
 
     @classmethod
     def from_edges(
@@ -214,20 +193,11 @@ class CSRGraph:
 
     def cut_of(self, part: Sequence[int]) -> int:
         """Total weight of edges whose endpoints are in different parts."""
-        cut = 0
-        for v in range(self.num_vertices):
-            pv = part[v]
-            for i in range(self.xadj[v], self.xadj[v + 1]):
-                if part[self.adjncy[i]] != pv:
-                    cut += self.adjwgt[i]
-        return cut // 2
+        return kernels.active().cut_value(self, part)
 
     def part_weights(self, part: Sequence[int], k: int) -> List[int]:
         """Vertex-weight sum per part."""
-        weights = [0] * k
-        for v in range(self.num_vertices):
-            weights[part[v]] += self.vwgt[v]
-        return weights
+        return kernels.active().part_weights(self, part, k)
 
 
 class ColumnarCSRBuilder:
@@ -248,13 +218,15 @@ class ColumnarCSRBuilder:
     ladder cache both rely on exactly this property.
     """
 
-    __slots__ = ("log", "_upto", "_adj", "_activity")
+    __slots__ = ("log", "_upto", "_acc")
 
     def __init__(self, log: "ColumnarLog") -> None:
         self.log = log
         self._upto = 0                       # rows [0, _upto) consumed
-        self._adj: List[Dict[int, int]] = []
-        self._activity: List[int] = []
+        # backend accumulator captured at construction: flat packed-pair
+        # folding instead of per-row dict updates (pure backend keeps
+        # the reference dict-of-dicts; all emit identical snapshots)
+        self._acc = kernels.active().CSRAccumulator()
 
     @property
     def rows_consumed(self) -> int:
@@ -262,7 +234,7 @@ class ColumnarCSRBuilder:
 
     @property
     def num_vertices(self) -> int:
-        return len(self._adj)
+        return self._acc.num_vertices
 
     def advance(self, upto: Optional[int] = None) -> int:
         """Fold in log rows [rows_consumed, upto); returns rows added."""
@@ -278,38 +250,21 @@ class ColumnarCSRBuilder:
             raise ValueError(
                 f"upto {upto} beyond log length {len(self.log)}"
             )
-        src_col = self.log.src_indices()
-        dst_col = self.log.dst_indices()
-        adj = self._adj
-        activity = self._activity
-        # NOTE: per-row fold mirrors CSRGraph.from_columnar (which
-        # additionally compacts indices); both loops stay open-coded
-        # because a shared per-row helper costs a Python call on the
-        # hot path — change conventions in both or the warm cumulative
-        # graph diverges from the R-METIS window graph.
-        for i in range(self._upto, upto):
-            s = src_col[i]
-            d = dst_col[i]
-            hi = s if s > d else d
-            while len(adj) <= hi:
-                adj.append({})
-                activity.append(0)
-            activity[s] += 1
-            if d == s:
-                continue
-            activity[d] += 1
-            adj_s = adj[s]
-            adj_s[d] = adj_s.get(d, 0) + 1
-            adj_d = adj[d]
-            adj_d[s] = adj_d.get(s, 0) + 1
+        self._acc.advance(
+            self.log.src_indices(), self.log.dst_indices(), self._upto, upto)
         added = upto - self._upto
         self._upto = upto
         return added
 
     def snapshot(self, vertex_weights: str = "unit") -> CSRGraph:
         """Emit the cumulative graph of all consumed rows as a CSRGraph."""
-        orig_ids = [self.log.vertex_id(v) for v in range(len(self._adj))]
-        return _emit_csr(self._adj, self._activity, vertex_weights, orig_ids)
+        _validate_vertex_weights(vertex_weights)
+        xadj, adjncy, adjwgt, vwgt, n = self._acc.snapshot(vertex_weights)
+        orig_ids = [self.log.vertex_id(v) for v in range(n)]
+        return CSRGraph(
+            xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt,
+            orig_ids=orig_ids,
+        )
 
 
 def _validate_vertex_weights(vertex_weights: str) -> None:
@@ -317,34 +272,3 @@ def _validate_vertex_weights(vertex_weights: str) -> None:
         raise PartitionError(
             f"vertex_weights must be 'unit' or 'activity', got {vertex_weights!r}"
         )
-
-
-def _emit_csr(
-    adj: List[Dict[int, int]],
-    activity: List[int],
-    vertex_weights: str,
-    orig_ids: List[int],
-) -> CSRGraph:
-    """Freeze per-vertex adjacency accumulators into CSR arrays.
-
-    Shared tail of :meth:`CSRGraph.from_columnar` and
-    :meth:`ColumnarCSRBuilder.snapshot` — the weight conventions (unit
-    vs activity-floored-at-1) live here exactly once.
-    """
-    _validate_vertex_weights(vertex_weights)
-    n = len(adj)
-    xadj = [0] * (n + 1)
-    adjncy: List[int] = []
-    adjwgt: List[int] = []
-    for v in range(n):
-        for nbr, w in adj[v].items():
-            adjncy.append(nbr)
-            adjwgt.append(w)
-        xadj[v + 1] = len(adjncy)
-    if vertex_weights == "unit":
-        vwgt = [1] * n
-    else:
-        vwgt = [max(1, a) for a in activity]
-    return CSRGraph(
-        xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt, orig_ids=orig_ids
-    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.metis.bisect import multilevel_bisect
 from repro.metis.coarsen import LadderCache
 from repro.metis.graph import CSRGraph
@@ -238,10 +239,8 @@ def warm_kway_partition(
         targets = [total / k] * k
 
     xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
-    weights = [0.0] * k
-    for v in range(n):
-        if part[v] >= 0:
-            weights[part[v]] += vwgt[v]
+    kr = kernels.active()
+    weights = [float(w) for w in kr.part_weights(graph, part, k, skip_unassigned=True)]
 
     def lightest() -> int:
         return min(
@@ -249,9 +248,7 @@ def warm_kway_partition(
             key=lambda p: (weights[p] / targets[p] if targets[p] > 0 else weights[p], p),
         )
 
-    for v in range(n):
-        if part[v] >= 0:
-            continue
+    for v in kr.unassigned_list(part):
         conn: dict = {}
         for i in range(xadj[v], xadj[v + 1]):
             p = part[adjncy[i]]

@@ -20,32 +20,20 @@ from __future__ import annotations
 import random
 from typing import List
 
+from repro import kernels
 from repro.metis.graph import CSRGraph
 
 
 def heavy_edge_matching(graph: CSRGraph, rng: random.Random) -> List[int]:
-    """Heavy-edge matching; ``match[v]`` is v's partner (or v)."""
-    n = graph.num_vertices
-    match = [-1] * n
-    order = list(range(n))
+    """Heavy-edge matching; ``match[v]`` is v's partner (or v).
+
+    The rng draws only the visit order; the inner max-weight-neighbor
+    scan is the ``hem_matching`` kernel (sequential by nature — every
+    backend runs the same reference loop).
+    """
+    order = list(range(graph.num_vertices))
     rng.shuffle(order)
-    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
-    for v in order:
-        if match[v] != -1:
-            continue
-        best = -1
-        best_w = -1
-        for i in range(xadj[v], xadj[v + 1]):
-            u = adjncy[i]
-            if match[u] == -1 and u != v and adjwgt[i] > best_w:
-                best = u
-                best_w = adjwgt[i]
-        if best == -1:
-            match[v] = v
-        else:
-            match[v] = best
-            match[best] = v
-    return match
+    return kernels.active().hem_matching(graph, order)
 
 
 def random_matching(graph: CSRGraph, rng: random.Random) -> List[int]:

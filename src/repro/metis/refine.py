@@ -30,6 +30,7 @@ import heapq
 import random
 from typing import List, Sequence, Tuple
 
+from repro import kernels
 from repro.metis.graph import CSRGraph
 
 
@@ -54,12 +55,7 @@ def fm_refine(
     ``ubfactor`` is the allowed overweight ratio (1.05 = 5% slack, the
     METIS default ballpark).
     """
-    n = graph.num_vertices
-    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
-
-    weights = [0.0, 0.0]
-    for v in range(n):
-        weights[part[v]] += vwgt[v]
+    weights = [float(w) for w in kernels.active().part_weights(graph, part, 2)]
     cut = graph.cut_of(part)
 
     for _ in range(max_passes):
@@ -109,13 +105,10 @@ def _fm_pass(
         counter += 1
         heapq.heappush(heap, (-gain[v], counter, v))
 
-    # seed the heap with boundary vertices
-    for v in range(n):
-        pv = part[v]
-        for i in range(xadj[v], xadj[v + 1]):
-            if part[adjncy[i]] != pv:
-                push(v)
-                break
+    # seed the heap with boundary vertices; the kernel returns them
+    # ascending, which is exactly the legacy scan's push order
+    for v in kernels.active().boundary_list(graph, part):
+        push(v)
 
     moves: List[int] = []  # sequence of moved vertices
     cur_cut = start_cut
@@ -187,9 +180,7 @@ def rebalance_kway(
     """
     n = graph.num_vertices
     xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
-    weights = [0.0] * k
-    for v in range(n):
-        weights[part[v]] += vwgt[v]
+    weights = [float(w) for w in kernels.active().part_weights(graph, part, k)]
 
     moves = 0
     for p in range(k):
@@ -288,20 +279,15 @@ def boundary_kway_refine(
 
     n = graph.num_vertices
     xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    kr = kernels.active()
     rebalance_kway(graph, part, k, targets, ubfactor=ubfactor)
-    weights = [0.0] * k
-    for v in range(n):
-        weights[part[v]] += vwgt[v]
+    weights = [float(w) for w in kr.part_weights(graph, part, k)]
 
     queued = [False] * n
     queue: "deque[int]" = deque()
-    for v in range(n):
-        pv = part[v]
-        for i in range(xadj[v], xadj[v + 1]):
-            if part[adjncy[i]] != pv:
-                queue.append(v)
-                queued[v] = True
-                break
+    for v in kr.boundary_list(graph, part):
+        queue.append(v)
+        queued[v] = True
 
     moves = 0
     max_moves = int(max_moves_factor * n) + 1
@@ -345,15 +331,24 @@ def kway_refine(
     """
     n = graph.num_vertices
     xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    kr = kernels.active()
     rebalance_kway(graph, part, k, targets, ubfactor=ubfactor)
-    weights = [0.0] * k
-    for v in range(n):
-        weights[part[v]] += vwgt[v]
+    weights = [float(w) for w in kr.part_weights(graph, part, k)]
     cut = graph.cut_of(part)
 
     for _ in range(max_passes):
         moved = 0
+        # restrict the scan to vertices that can possibly move: the
+        # boundary at pass start plus anything adjacent to a mid-pass
+        # move.  A vertex outside that set has all neighbors in its own
+        # part at scan time, so _best_kway_move returns (pv, 0) for it
+        # regardless of the weight state — skipping it is exact.
+        candidate = bytearray(n)
+        for v in kr.boundary_list(graph, part):
+            candidate[v] = 1
         for v in range(n):
+            if not candidate[v]:
+                continue
             pv = part[v]
             # connectivity of v to each adjacent part
             conn: dict = {}
@@ -368,6 +363,8 @@ def kway_refine(
                 part[v] = best_part
                 cut -= best_gain
                 moved += 1
+                for i in range(xadj[v], xadj[v + 1]):
+                    candidate[adjncy[i]] = 1
         if moved == 0:
             break
     return cut

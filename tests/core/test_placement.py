@@ -51,6 +51,50 @@ class TestMinCut:
         assert place_by_min_cut(99, [99], a) == 0
 
 
+class TestMinCutScratch:
+    """The reused scratch dict must not change any decision.
+
+    The replay engine's batch placement path threads one dict through
+    every placement; tie-breaking depends on shard *insertion order*
+    (first assigned co-endpoint wins the iteration slot), so a scratch
+    map that leaked state between calls would silently reorder ties.
+    """
+
+    def test_scratch_matches_fresh_dict_on_random_streams(self):
+        rng = random.Random(7)
+        k = 4
+        with_scratch = ShardAssignment(k)
+        without = ShardAssignment(k)
+        scratch: dict = {}
+        next_vertex = 0
+        for _ in range(300):
+            pool = list(range(next_vertex)) or [0]
+            endpoints = [rng.choice(pool) for _ in range(rng.randrange(0, 5))]
+            v = next_vertex
+            next_vertex += 1
+            endpoints.append(v)
+            rng.shuffle(endpoints)
+            a = place_by_min_cut(v, endpoints, with_scratch, scratch=scratch)
+            b = place_by_min_cut(v, endpoints, without)
+            assert a == b, f"vertex {v}: scratch={a} fresh={b}"
+            assert scratch == {}, "scratch must be returned empty"
+            with_scratch.assign(v, a)
+            without.assign(v, b)
+
+    def test_tie_break_order_follows_endpoint_insertion(self):
+        # shards 2 and 1 tie on affinity and on load; the scratch and
+        # fresh-dict paths must agree on the (count, shard-id) minimum
+        a = assignment_with({10: 2, 11: 1}, k=3)
+        scratch: dict = {}
+        got = place_by_min_cut(99, [10, 11, 99], a, scratch=scratch)
+        assert got == place_by_min_cut(99, [10, 11, 99], a) == 1
+        assert scratch == {}
+        # reversed endpoint order flips dict insertion order but not
+        # the winner (min is over (count, shard id), not iteration)
+        got = place_by_min_cut(99, [11, 10, 99], a, scratch=scratch)
+        assert got == place_by_min_cut(99, [11, 10, 99], a) == 1
+
+
 class TestOtherRules:
     def test_hash_deterministic_and_in_range(self):
         for v in range(100):

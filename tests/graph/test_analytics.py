@@ -132,6 +132,23 @@ class TestWindowStats:
         assert "empty window(s) elided" in out
         assert "per-window activity" in out
 
+    def test_identical_on_v2_and_v3_sourced_columns(self, tmp_path):
+        """The windowed scan runs on the ``max_index`` batch kernel;
+        its output must not depend on which on-disk trace version the
+        columns were loaded from, nor on the kernel backend."""
+        from repro import kernels
+        from repro.graph.io import load_columnar, write_columnar
+
+        log = self.make_columnar()
+        v2, v3 = tmp_path / "t2.rct", tmp_path / "t3.rct"
+        write_columnar(log, v2, version=2)
+        write_columnar(log, v3, version=3)
+        expected = compute_window_stats(log, 100.0)
+        for backend in kernels.available_backends():
+            with kernels.using_backend(backend):
+                assert compute_window_stats(load_columnar(v2), 100.0) == expected
+                assert compute_window_stats(load_columnar(v3), 100.0) == expected
+
 
 class TestWindowStatsGuards:
     def test_sub_resolution_window_rejected_not_hung(self):

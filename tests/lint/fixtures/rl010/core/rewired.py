@@ -1,0 +1,17 @@
+"""RL010 fixture: a converted module that dispatches to batch kernels.
+
+Not on the ROADMAP target list — it enters RL010 scope purely because
+it calls ``kernels.active()``.  The batch call is fine; the fresh
+per-row loop next to it is a regression and must still be flagged.
+"""
+
+from repro import kernels
+
+
+def account_window(window, src, dst, lo, hi, shard, k):
+    kr = kernels.active()
+    total, _, _, _, delta = kr.account_window(src, dst, lo, hi, (), shard, k)
+    for it in window:  # expect: RL010
+        if shard[it.src] != shard[it.dst]:
+            total += 1
+    return total, delta
