@@ -88,6 +88,9 @@ def _micro_loops(clog: ColumnarLog):
     part_holes = list(part)
     for v in range(0, len(part_holes), 7):
         part_holes[v] = -1
+    bisect = [p % 2 for p in part]
+    with kernels.using_backend("pure"):
+        boundary = kernels.active().boundary_list(graph, part)
 
     def acc_loop():
         acc = kernels.active().CSRAccumulator()
@@ -110,6 +113,12 @@ def _micro_loops(clog: ColumnarLog):
         "boundary_list": lambda: kr().boundary_list(graph, part),
         "cut_value": lambda: kr().cut_value(graph, part),
         "unassigned_list": lambda: kr().unassigned_list(part_holes),
+        # refinement batch kernels: boundary-row connectivity, FM seed
+        # gains, whole-graph KL gather, FM gain bound
+        "conn_matrix": lambda: kr().conn_matrix(graph, part, k, boundary),
+        "gain_vector": lambda: kr().gain_vector(graph, bisect, boundary),
+        "kl_proposals": lambda: kr().kl_proposals(graph, part, k, 1),
+        "max_weighted_degree": lambda: kr().max_weighted_degree(graph),
     }
 
 
@@ -168,13 +177,21 @@ def test_paper_scale_sweep(runner, bench_scale, out_dir, tmp_path):
         source=str(trace),
     )
 
+    # grid totals: interleaved rounds + best-of + process CPU time,
+    # because a single sequential wall-clock pass per backend cannot
+    # resolve a ~20% backend gap on a shared runner (order effects and
+    # scheduler noise are the same magnitude)
+    backends = list(kernels.available_backends())
     dumps = {}
     totals = {}
-    for backend in kernels.available_backends():
-        with kernels.using_backend(backend):
-            t0 = time.perf_counter()
-            dumps[backend] = run_experiment(spec).dumps()
-            totals[backend] = time.perf_counter() - t0
+    for rnd in range(2):
+        for backend in backends if rnd % 2 == 0 else reversed(backends):
+            with kernels.using_backend(backend):
+                t0 = time.process_time()
+                text = run_experiment(spec).dumps()
+                elapsed = time.process_time() - t0
+            dumps.setdefault(backend, text)
+            totals[backend] = min(totals.get(backend, elapsed), elapsed)
     reference = dumps["pure"]
     for backend, text in dumps.items():
         assert text == reference, (
@@ -208,8 +225,9 @@ def test_paper_scale_sweep(runner, bench_scale, out_dir, tmp_path):
             ],
         ),
         "",
-        "full-grid single-pass totals per kernel backend "
-        "(ResultSet byte-identical across all):",
+        "full-grid totals per kernel backend (best of 2 interleaved "
+        "rounds,",
+        "process CPU time; ResultSet byte-identical across all):",
         ascii_table(
             ("backend", "seconds", "vs pure"),
             [
@@ -218,9 +236,12 @@ def test_paper_scale_sweep(runner, bench_scale, out_dir, tmp_path):
             ],
         ),
         "",
-        "note: the grid is partitioner-bound (KL repartitioning and METIS",
-        "refinement are backend-independent python graph algorithms), so",
-        "backend choice moves the whole-grid total ~10%; the >=3x kernel",
-        "speedups are enforced per-microloop — see kernels_micro.txt.",
+        "note: KL repartitioning and METIS refinement now ride the batched",
+        "refinement kernels (conn_matrix / gain_vector / kl_proposals), so",
+        "backend choice moves the whole-grid total ~15-20% (it used to be",
+        "~10%: the refiners were backend-independent python loops); the",
+        ">=3x kernel speedups are enforced per-microloop — see",
+        "kernels_micro.txt.  absolute seconds are machine-state dependent:",
+        "compare backends within one run, not across recorded artifacts.",
     ]
     write_artifact(out_dir, "paper_scale_sweep.txt", "\n".join(lines))

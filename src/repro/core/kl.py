@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
+from repro import kernels
 from repro.core.base import PartitionMethod, ReplayContext
 from repro.core.oracle import BalanceOracle, MoveProposal, apply_probability_matrix
 from repro.graph.snapshot import REPARTITION_PERIOD
-from repro.graph.undirected import collapse_to_undirected
+from repro.metis.graph import CSRGraph
 
 
 class KLPartitioner(PartitionMethod):
@@ -54,28 +55,61 @@ class KLPartitioner(PartitionMethod):
     def maybe_repartition(self, ctx: ReplayContext) -> Optional[Mapping[int, int]]:
         if ctx.elapsed_since_repartition < self.period:
             return None
-        period_graph = ctx.period_graph
-        if period_graph.num_vertices == 0:
-            return None
 
-        und = collapse_to_undirected(period_graph)
-        # working copy of shard labels for the vertices in the period
-        shard: Dict[int, int] = {}
-        for v in und.vertices():
+        # CSR bridge: local indices follow the collapsed undirected
+        # view's vertex order, and each adjacency keeps its
+        # first-encounter insertion order, so the batched kernel sees
+        # exactly the structures the per-vertex dict loop iterated —
+        # proposal order and tie-breaks are bit-identical.  With a
+        # columnar log underneath, one ``graph_batch`` kernel call +
+        # ``from_graph_batch`` skips the period ``WeightedDiGraph``
+        # entirely; the boxed fallback collapses ``ctx.period_graph``.
+        if ctx.columnar_log is not None:
+            lo, hi = ctx.log_period_start, ctx.log_hi
+            if hi <= lo:
+                return None
+            log = ctx.columnar_log
+            first_seen, _upgrades, edge_weights, vertex_weights = (
+                kernels.active().graph_batch(
+                    log.timestamps(), log.src_indices(), log.dst_indices(),
+                    log.src_kind_codes(), log.dst_kind_codes(), lo, hi))
+            csr = CSRGraph.from_graph_batch(
+                first_seen, edge_weights, vertex_weights, log.vertex_id)
+        else:
+            period_graph = ctx.period_graph
+            if period_graph.num_vertices == 0:
+                return None
+            csr = CSRGraph.from_digraph(period_graph)
+        if csr.num_vertices == 0:
+            return None
+        ids = csr.orig_ids or []
+        local = {v: i for i, v in enumerate(ids)}
+        # working copy of shard labels, local-indexed (-1 = unassigned:
+        # skipped as proposer and excluded from neighbors' connectivity,
+        # as the legacy shard-dict lookups did)
+        shard: List[int] = [-1] * csr.num_vertices
+        for i, v in enumerate(ids):
             s = ctx.assignment.shard_of(v)
             if s is not None:
-                shard[v] = s
+                shard[i] = s
 
+        kr = kernels.active()
         moved: Dict[int, int] = {}
         for _ in range(self.rounds):
-            proposals = self._gather_proposals(und, shard)
-            if not proposals:
+            raw = kr.kl_proposals(csr, shard, self.k, self.min_gain)
+            if not raw:
                 break
+            proposals = [
+                MoveProposal(vertex=ids[i], src=s, dst=t, gain=g,
+                             weight=csr.vwgt[i])
+                for i, s, t, g in raw
+            ]
             # current per-shard load of the period (activity weight):
             # the oracle uses it to drain overloaded shards
-            loads = [0.0] * self.k
-            for v, s in shard.items():
-                loads[s] += und.vertex_weight(v)
+            loads = [
+                float(w) for w in kr.part_weights(
+                    csr, shard, self.k, skip_unassigned=True)
+            ]
             prob = self.oracle.probability_matrix(proposals, loads=loads)
             budgets = self.oracle.allowed_matrix(proposals, loads=loads)
             accepted = apply_probability_matrix(
@@ -85,34 +119,6 @@ class KLPartitioner(PartitionMethod):
             if not accepted:
                 break
             for v, dst in accepted.items():
-                shard[v] = dst
+                shard[local[v]] = dst
                 moved[v] = dst
         return moved or None
-
-    def _gather_proposals(self, und, shard: Dict[int, int]) -> List[MoveProposal]:
-        """Each shard's candidate list: positive-gain boundary vertices."""
-        proposals: List[MoveProposal] = []
-        for v, s in shard.items():
-            conn: Dict[int, int] = {}
-            for nbr, w in und.adjacency(v).items():
-                t = shard.get(nbr)
-                if t is not None:
-                    conn[t] = conn.get(t, 0) + w
-            internal = conn.get(s, 0)
-            best_t = -1
-            best_gain = self.min_gain - 1
-            for t, w in conn.items():
-                if t == s:
-                    continue
-                gain = w - internal
-                if gain > best_gain:
-                    best_gain = gain
-                    best_t = t
-            if best_t >= 0 and best_gain >= self.min_gain:
-                proposals.append(
-                    MoveProposal(
-                        vertex=v, src=s, dst=best_t, gain=best_gain,
-                        weight=und.vertex_weight(v),
-                    )
-                )
-        return proposals

@@ -28,10 +28,17 @@ from repro.kernels.backend import (
     set_backend,
     using_backend,
 )
-from repro.kernels.types import PACK_MASK, PACK_SHIFT, StreamState, WindowBatch
+from repro.kernels.types import (
+    PACK_MASK,
+    PACK_SHIFT,
+    GainBuckets,
+    StreamState,
+    WindowBatch,
+)
 
 __all__ = [
     "ENV_VAR",
+    "GainBuckets",
     "PACK_MASK",
     "PACK_SHIFT",
     "StreamState",

@@ -31,9 +31,13 @@ from typing import Dict, List, Tuple
 from repro.kernels.pure import (
     CONTRACT_CODE,
     boundary_list,
+    conn_matrix,
     cut_value,
+    gain_vector,
     graph_batch,
     hem_matching,
+    kl_proposals,
+    max_weighted_degree,
     part_weights,
     unassigned_list,
 )
@@ -44,9 +48,10 @@ ACCELERATED: frozenset = frozenset()
 
 __all__ = [
     "ACCELERATED", "CSRAccumulator", "account_window", "boundary_list",
-    "csr_from_window", "cut_value", "graph_batch", "hem_matching",
-    "max_index", "part_weights", "static_cut_count", "unassigned_list",
-    "window_pass",
+    "conn_matrix", "csr_from_window", "cut_value", "gain_vector",
+    "graph_batch", "hem_matching", "kl_proposals", "max_index",
+    "max_weighted_degree", "part_weights", "static_cut_count",
+    "unassigned_list", "window_pass",
 ]
 
 

@@ -361,3 +361,133 @@ def hem_matching(graph, order: Sequence[int]) -> List[int]:
 def unassigned_list(part: Sequence[int]) -> List[int]:
     """Indices with ``part[v] < 0``, ascending."""
     return [v for v in range(len(part)) if part[v] < 0]
+
+
+def max_weighted_degree(graph) -> int:
+    """Largest per-vertex sum of incident edge weights (0 when edgeless).
+
+    The gain bound of FM refinement: every vertex's move gain lies in
+    ``[-max_weighted_degree, +max_weighted_degree]``, which sizes the
+    :class:`~repro.kernels.types.GainBuckets` array.
+    """
+    xadj, adjwgt = graph.xadj, graph.adjwgt
+    best = 0
+    for v in range(len(xadj) - 1):
+        s = 0
+        for i in range(xadj[v], xadj[v + 1]):
+            s += adjwgt[i]
+        if s > best:
+            best = s
+    return best
+
+
+def conn_matrix(
+    graph, part: Sequence[int], k: int, vertices: Sequence[int],
+) -> Tuple[List[int], List[int], List[int]]:
+    """Part-connectivity rows of ``vertices``, flattened row-major.
+
+    Returns ``(conn, first_pos, movable)``.  ``conn`` and ``first_pos``
+    have length ``len(vertices) * k``: row ``r`` covers
+    ``vertices[r]``, and entry ``p`` holds the summed weight of its
+    edges into part ``p`` / the *absolute adjncy index* of its first
+    neighbor in part ``p`` (``-1`` when part ``p`` is not adjacent —
+    the presence test, exact even for zero-weight edges).  Unassigned
+    neighbors (``part < 0``) are excluded.  ``first_pos`` encodes the
+    legacy per-vertex conn-dict insertion order: parts sorted by it are
+    in first-encounter order over the adjacency, which is the k-way
+    tie-break the refinement selectors contract to.
+
+    ``movable`` has one entry per row: 1 iff some adjacent part
+    ``p != part[vertices[r]]`` has ``conn[p] > conn[own]`` (``own``
+    connectivity counts as 0 for unassigned subjects) — i.e. the vertex
+    has a positive-cut-gain destination *before* any balance check.
+    The test depends only on the row, so a cached row's flag stays
+    exact until the row is invalidated; the k-way refiners use it to
+    skip the (vast, in warm starts) no-gain majority without running
+    the move selector.
+    """
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    m = len(vertices)
+    conn = [0] * (m * k)
+    first_pos = [-1] * (m * k)
+    movable = [0] * m
+    base = 0
+    for r, v in enumerate(vertices):
+        for i in range(xadj[v], xadj[v + 1]):
+            p = part[adjncy[i]]
+            if p < 0:
+                continue
+            idx = base + p
+            conn[idx] += adjwgt[i]
+            if first_pos[idx] < 0:
+                first_pos[idx] = i
+        own = part[v]
+        internal = conn[base + own] if own >= 0 else 0
+        for p in range(k):
+            if p == own:
+                continue
+            if first_pos[base + p] >= 0 and conn[base + p] > internal:
+                movable[r] = 1
+                break
+        base += k
+    return conn, first_pos, movable
+
+
+def gain_vector(graph, part: Sequence[int],
+                vertices: Sequence[int]) -> List[int]:
+    """FM move gains of ``vertices``: cross-part minus same-part weight.
+
+    Exactly the per-vertex ``compute_gain`` of the FM pass, batched:
+    a neighbor in ``part[v]`` subtracts its edge weight, any other
+    neighbor (including unassigned) adds it.
+    """
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    out: List[int] = []
+    for v in vertices:
+        pv = part[v]
+        g = 0
+        for i in range(xadj[v], xadj[v + 1]):
+            if part[adjncy[i]] == pv:
+                g -= adjwgt[i]
+            else:
+                g += adjwgt[i]
+        out.append(g)
+    return out
+
+
+def kl_proposals(graph, shard: Sequence[int], k: int,
+                 min_gain: int) -> List[Tuple[int, int, int, int]]:
+    """Batched KL gather: per-vertex best positive-gain shard moves.
+
+    The kernel form of ``KLPartitioner._gather_proposals``: for every
+    assigned vertex (``shard[v] >= 0``, ascending — the insertion order
+    of the legacy shard dict), connectivity is summed per adjacent
+    assigned shard and the winning destination is the *first shard in
+    adjacency first-encounter order* achieving the maximal gain
+    ``conn[t] - conn[own]``; vertices whose best gain reaches
+    ``min_gain`` yield a ``(vertex, src, dst, gain)`` tuple.
+    """
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    out: List[Tuple[int, int, int, int]] = []
+    for v in range(len(xadj) - 1):
+        s = shard[v]
+        if s < 0:
+            continue
+        conn: Dict[int, int] = {}
+        for i in range(xadj[v], xadj[v + 1]):
+            t = shard[adjncy[i]]
+            if t >= 0:
+                conn[t] = conn.get(t, 0) + adjwgt[i]
+        internal = conn.get(s, 0)
+        best_t = -1
+        best_gain = min_gain - 1
+        for t, w in conn.items():
+            if t == s:
+                continue
+            gain = w - internal
+            if gain > best_gain:
+                best_gain = gain
+                best_t = t
+        if best_t >= 0:
+            out.append((v, s, best_t, best_gain))
+    return out

@@ -855,6 +855,11 @@ class MutableDefault(Rule):
     _MUTABLE_CALLS = frozenset(
         {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
     )
+    #: RNG constructors: a `= random.Random(seed)` default is *worse*
+    #: than a plain mutable container — the one shared instance carries
+    #: generator state across calls, so results depend on call order
+    #: within the process even though every call looks seeded
+    _RNG_CALLS = frozenset({"Random", "SystemRandom", "default_rng"})
 
     def check_module(self, module: Module) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -864,7 +869,16 @@ class MutableDefault(Rule):
             for default in list(args.defaults) + [
                 d for d in args.kw_defaults if d is not None
             ]:
-                if self._mutable(default):
+                if self._rng_state(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        "RNG default argument holds generator state shared "
+                        "across calls — results depend on call order even "
+                        "with a seed; default to None and construct the "
+                        "seeded instance inside the function",
+                    )
+                elif self._mutable(default):
                     yield self.finding(
                         module,
                         default,
@@ -880,6 +894,12 @@ class MutableDefault(Rule):
             dotted = _dotted(node.func) or ""
             return dotted.split(".")[-1] in self._MUTABLE_CALLS
         return False
+
+    def _rng_state(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = _dotted(node.func) or ""
+        return dotted.split(".")[-1] in self._RNG_CALLS
 
 
 # ----------------------------------------------------------------------

@@ -113,6 +113,107 @@ class CSRGraph:
         return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt, orig_ids=orig_ids)
 
     @classmethod
+    def from_digraph(
+        cls,
+        digraph,
+        min_vertex_weight: int = 1,
+        unit_vertex_weights: bool = False,
+    ) -> "CSRGraph":
+        """Collapse a ``WeightedDiGraph`` straight to CSR in one pass.
+
+        Fuses ``collapse_to_undirected`` + :meth:`from_undirected`
+        without materialising the intermediate ``UndirectedView`` or
+        re-walking it.  Every observable order is preserved exactly:
+        vertices are renumbered in ``digraph.vertices()`` order, each
+        adjacency keeps first-encounter order over ``digraph.edges()``,
+        and reverse-direction weights merge on the first encounter of a
+        pair — bit-identical CSR arrays to the two-step pipeline (the
+        KL repartitioner depends on this for its tie-breaks).
+        """
+        index: Dict[int, int] = {}
+        orig_ids: List[int] = []
+        vwgt: List[int] = []
+        for v in digraph.vertices():
+            index[v] = len(orig_ids)
+            orig_ids.append(v)
+            vwgt.append(
+                1 if unit_vertex_weights
+                else max(min_vertex_weight, digraph.vertex_weight(v)))
+        n = len(orig_ids)
+        adj: List[Dict[int, int]] = [{} for _ in range(n)]
+        for src, dst, w in digraph.edges():
+            if src == dst:
+                continue  # self-loops never cross shards; the collapse drops them
+            si, di = index[src], index[dst]
+            if di in adj[si]:
+                # the reverse edge was already merged when we saw dst → src
+                continue
+            total = w + digraph.successors(dst).get(src, 0)
+            adj[si][di] = total
+            adj[di][si] = total
+        xadj: List[int] = [0] * (n + 1)
+        adjncy: List[int] = []
+        adjwgt: List[int] = []
+        for i in range(n):
+            adjncy.extend(adj[i])
+            adjwgt.extend(adj[i].values())
+            xadj[i + 1] = len(adjncy)
+        return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt, orig_ids=orig_ids)
+
+    @classmethod
+    def from_graph_batch(
+        cls,
+        first_seen,
+        edge_weights,
+        vertex_weights,
+        vertex_id,
+        min_vertex_weight: int = 1,
+    ) -> "CSRGraph":
+        """Collapse one ``graph_batch`` aggregate straight to CSR.
+
+        Equivalent to ``build_graph_columnar`` → :meth:`from_digraph`
+        without materialising the ``WeightedDiGraph``: ``first_seen``
+        fixes the vertex order (the digraph's ``add_vertex`` order),
+        ``edge_weights``'s packed-pair first-occurrence order fixes
+        each successor order (the ``add_edge`` order), and the collapse
+        then merges reverse pairs / drops self-loops exactly as
+        :meth:`from_digraph` does — bit-identical CSR arrays, at a
+        fraction of the inserts (and hashing *dense* log indices
+        instead of raw vertex ids).  ``vertex_id`` maps dense indices
+        to the raw ids recorded in ``orig_ids``.
+        """
+        n = len(first_seen)
+        index: Dict[int, int] = {}
+        orig_ids: List[int] = []
+        vwgt: List[int] = []
+        for r, (dense, _kind, _ts) in enumerate(first_seen):
+            index[dense] = r
+            orig_ids.append(vertex_id(dense))
+            vwgt.append(max(min_vertex_weight, vertex_weights.get(dense, 0)))
+        succ: List[Dict[int, int]] = [{} for _ in range(n)]
+        shift, mask = kernels.PACK_SHIFT, kernels.PACK_MASK
+        for packed, w in edge_weights.items():
+            succ[index[packed >> shift]][index[packed & mask]] = w
+        adj: List[Dict[int, int]] = [{} for _ in range(n)]
+        for si in range(n):
+            for di, w in succ[si].items():
+                if si == di:
+                    continue  # self-loops never cross shards
+                if di in adj[si]:
+                    continue  # reverse pair already merged
+                total = w + succ[di].get(si, 0)
+                adj[si][di] = total
+                adj[di][si] = total
+        xadj: List[int] = [0] * (n + 1)
+        adjncy: List[int] = []
+        adjwgt: List[int] = []
+        for i in range(n):
+            adjncy.extend(adj[i])
+            adjwgt.extend(adj[i].values())
+            xadj[i + 1] = len(adjncy)
+        return cls(xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt, orig_ids=orig_ids)
+
+    @classmethod
     def from_columnar(
         cls,
         log: "ColumnarLog",
@@ -260,7 +361,9 @@ class ColumnarCSRBuilder:
         """Emit the cumulative graph of all consumed rows as a CSRGraph."""
         _validate_vertex_weights(vertex_weights)
         xadj, adjncy, adjwgt, vwgt, n = self._acc.snapshot(vertex_weights)
-        orig_ids = [self.log.vertex_id(v) for v in range(n)]
+        # one bulk copy instead of n per-index method calls: dense
+        # indices 0..n-1 are exactly the first n interned ids
+        orig_ids = list(self.log.vertex_ids()[:n])
         return CSRGraph(
             xadj=xadj, adjncy=adjncy, adjwgt=adjwgt, vwgt=vwgt,
             orig_ids=orig_ids,

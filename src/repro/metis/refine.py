@@ -26,11 +26,12 @@ partition.
 
 from __future__ import annotations
 
-import heapq
 import random
-from typing import List, Sequence, Tuple
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
 
 from repro import kernels
+from repro.kernels import GainBuckets
 from repro.metis.graph import CSRGraph
 
 
@@ -47,14 +48,19 @@ def fm_refine(
     targets: Tuple[float, float],
     ubfactor: float = 1.05,
     max_passes: int = 8,
-    rng: random.Random = random.Random(0),
+    rng: Optional[random.Random] = None,
 ) -> int:
     """FM refinement of a bisection, in place.  Returns the final cut.
 
     ``targets`` are the desired vertex-weight totals of parts 0 and 1;
     ``ubfactor`` is the allowed overweight ratio (1.05 = 5% slack, the
-    METIS default ballpark).
+    METIS default ballpark).  ``rng`` defaults to a *fresh*
+    ``random.Random(0)`` per call — never a shared instance, whose
+    state would leak across calls and make results depend on call
+    order within the process.
     """
+    if rng is None:
+        rng = random.Random(0)
     weights = [float(w) for w in kernels.active().part_weights(graph, part, 2)]
     cut = graph.cut_of(part)
 
@@ -80,35 +86,36 @@ def _fm_pass(
     """One FM pass.  Returns the new cut if it improved, else None.
 
     Mutates ``part`` and ``weights`` to the best prefix state.
+
+    Gains live in a :class:`GainBuckets` structure whose pop order is
+    identical to the lazy-deletion heap this replaces (max gain, then
+    push order), seeded with one batched ``gain_vector`` over the
+    boundary.  Mid-pass, a moved vertex shifts each unlocked neighbor's
+    gain by exactly ``±2×`` the connecting edge weight (the edge flips
+    between internal and external), so gains are maintained
+    incrementally; a vertex first reached mid-pass (not boundary, not
+    updated before) gets one full recompute — the same value the legacy
+    per-push recomputation produced, at a fraction of the scans.
     """
     n = graph.num_vertices
     xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    kr = kernels.active()
 
+    # gain[v] is only meaningful where known[v] is set (vertices that
+    # have entered the bucket structure) — same contract as the heap's
+    # stale-entry check against the gain array
     gain = [0] * n
-    locked = [False] * n
-    heap: List[Tuple[int, int, int]] = []
-    counter = 0
+    known = bytearray(n)
+    locked = bytearray(n)
+    buckets = GainBuckets(kr.max_weighted_degree(graph))
 
-    def compute_gain(v: int) -> int:
-        g = 0
-        pv = part[v]
-        for i in range(xadj[v], xadj[v + 1]):
-            if part[adjncy[i]] == pv:
-                g -= adjwgt[i]
-            else:
-                g += adjwgt[i]
-        return g
-
-    def push(v: int) -> None:
-        nonlocal counter
-        gain[v] = compute_gain(v)
-        counter += 1
-        heapq.heappush(heap, (-gain[v], counter, v))
-
-    # seed the heap with boundary vertices; the kernel returns them
-    # ascending, which is exactly the legacy scan's push order
-    for v in kernels.active().boundary_list(graph, part):
-        push(v)
+    # seed with boundary vertices; the kernel returns them ascending,
+    # which is exactly the legacy scan's push order
+    boundary = kr.boundary_list(graph, part)
+    for v, g in zip(boundary, kr.gain_vector(graph, part, boundary)):
+        gain[v] = g
+        known[v] = 1
+        buckets.push(v, g)
 
     moves: List[int] = []  # sequence of moved vertices
     cur_cut = start_cut
@@ -116,9 +123,12 @@ def _fm_pass(
     best_imb = _imbalance(weights, targets)
     best_prefix = 0
 
-    while heap:
-        neg_g, _, v = heapq.heappop(heap)
-        if locked[v] or -neg_g != gain[v]:
+    while True:
+        entry = buckets.pop()
+        if entry is None:
+            break
+        v, g = entry
+        if locked[v] or g != gain[v]:
             continue
         src = part[v]
         dst = 1 - src
@@ -140,12 +150,28 @@ def _fm_pass(
         part[v] = dst
         weights[0], weights[1] = new_weights
         cur_cut -= gain[v]
-        locked[v] = True
+        locked[v] = 1
         moves.append(v)
         for i in range(xadj[v], xadj[v + 1]):
             u = adjncy[i]
-            if not locked[u]:
-                push(u)
+            if locked[u]:
+                continue
+            if known[u]:
+                if part[u] == src:
+                    gain[u] += 2 * adjwgt[i]
+                else:
+                    gain[u] -= 2 * adjwgt[i]
+            else:
+                pu = part[u]
+                g_u = 0
+                for j in range(xadj[u], xadj[u + 1]):
+                    if part[adjncy[j]] == pu:
+                        g_u -= adjwgt[j]
+                    else:
+                        g_u += adjwgt[j]
+                gain[u] = g_u
+                known[u] = 1
+            buckets.push(u, gain[u])
 
         if cur_cut < best_cut or (cur_cut == best_cut and imb_after < best_imb):
             best_cut = cur_cut
@@ -179,37 +205,75 @@ def rebalance_kway(
     part into the lightest parts.  Returns the number of forced moves.
     """
     n = graph.num_vertices
-    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    vwgt = graph.vwgt
     weights = [float(w) for w in kernels.active().part_weights(graph, part, k)]
+    maxw = max(vwgt, default=1)
 
     moves = 0
     for p in range(k):
-        limit = max(ubfactor * targets[p], targets[p] + max(vwgt, default=1))
+        limit = max(ubfactor * targets[p], targets[p] + maxw)
         if weights[p] <= limit:
             continue
-        # candidates in p, cheapest cut-loss first
+        # candidates in p, cheapest cut-loss first; connectivity rows
+        # come from one batched kernel call over the members (legacy:
+        # a python conn dict per vertex).  Preferred destination is the
+        # strongest-connected other part, first-encounter order
+        # breaking ties — the conn-dict iteration order this replaces.
+        members = [v for v in range(n) if part[v] == p]
+        conn_rows, pos_rows, _movable = kernels.active().conn_matrix(
+            graph, part, k, members)
         candidates = []
-        for v in range(n):
-            if part[v] != p:
-                continue
-            internal = external_best = 0
+        base = 0
+        for v in members:
+            internal = conn_rows[base + p]
+            external_best = 0
             best_dst = -1
-            conn: dict = {}
-            for i in range(xadj[v], xadj[v + 1]):
-                conn[part[adjncy[i]]] = conn.get(part[adjncy[i]], 0) + adjwgt[i]
-            internal = conn.get(p, 0)
-            for q, w in conn.items():
-                if q != p and w > external_best:
-                    external_best = w
-                    best_dst = q
+            best_pos = -1
+            for q in range(k):
+                if q == p:
+                    continue
+                fp = pos_rows[base + q]
+                if fp < 0:
+                    continue
+                w = conn_rows[base + q]
+                if w < external_best or w == 0:
+                    continue
+                if w == external_best and fp > best_pos:
+                    continue
+                external_best = w
+                best_dst = q
+                best_pos = fp
             candidates.append((internal - external_best, v, best_dst))
+            base += k
         candidates.sort()
         for _loss, v, preferred in candidates:
             if weights[p] <= limit:
                 break
             dst = preferred
             if dst < 0 or weights[dst] + vwgt[v] > ubfactor * targets[dst]:
-                dst = min(range(k), key=lambda q: weights[q] / targets[q] if targets[q] else 0)
+                # fallback: the lightest part (by weight/target ratio)
+                # that can actually absorb v.  Zero-target parts are
+                # never destinations (they should hold nothing — the
+                # old ratio of 0 made them attract every forced move),
+                # and the destination must stay under its own
+                # rebalance limit, the same criterion that made part p
+                # overweight (the old fallback skipped the capacity
+                # check entirely and could overfill the part it chose).
+                dst = -1
+                best_ratio = 0.0
+                for q in range(k):
+                    if q == p or targets[q] <= 0:
+                        continue
+                    if weights[q] + vwgt[v] > max(
+                        ubfactor * targets[q], targets[q] + maxw
+                    ):
+                        continue
+                    ratio = weights[q] / targets[q]
+                    if dst < 0 or ratio < best_ratio:
+                        best_ratio = ratio
+                        dst = q
+                if dst < 0:
+                    continue  # nobody can take v without overfilling
             if dst == p:
                 continue
             weights[p] -= vwgt[v]
@@ -219,10 +283,45 @@ def rebalance_kway(
     return moves
 
 
-def _best_kway_move(
+def _conn_row(graph, part: Sequence[int], k: int, v: int):
+    """Fresh connectivity row of one vertex, ``conn_matrix`` layout.
+
+    The per-vertex fallback the refinement loops use for *dirty*
+    vertices — ones whose batched row a mid-pass move invalidated.
+    Rows are invalidated rather than patched: the summed weights could
+    be delta-maintained, but the first-encounter positions cannot (a
+    neighbor leaving a part may expose a *later* first position, which
+    no delta records), and a stale position would corrupt the tie-break
+    order the selectors contract to.  The third return mirrors
+    ``conn_matrix``'s per-row ``movable`` flag.
+    """
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    conn = [0] * k
+    pos = [-1] * k
+    for i in range(xadj[v], xadj[v + 1]):
+        p = part[adjncy[i]]
+        if p < 0:
+            continue
+        conn[p] += adjwgt[i]
+        if pos[p] < 0:
+            pos[p] = i
+    own = part[v]
+    internal = conn[own] if own >= 0 else 0
+    movable = 0
+    for p in range(k):
+        if p != own and pos[p] >= 0 and conn[p] > internal:
+            movable = 1
+            break
+    return conn, pos, movable
+
+
+def _select_kway_move(
     pv: int,
     vw: int,
-    conn: dict,
+    conn: Sequence[int],
+    pos: Sequence[int],
+    base: int,
+    k: int,
     weights: List[float],
     targets: Sequence[float],
     ubfactor: float,
@@ -232,17 +331,26 @@ def _best_kway_move(
     The single source of the k-way move rules — positive cut gain,
     balance tolerance with a one-vertex floor, never empty a part —
     shared by :func:`kway_refine` and :func:`boundary_kway_refine` so
-    warm and cold refinement can never drift apart.  ``conn`` maps
-    adjacent part → connecting edge weight; returns (part, gain).
+    warm and cold refinement can never drift apart.  ``conn``/``pos``
+    are flat ``conn_matrix`` rows read at offset ``base``; among
+    equal-gain admissible parts the smallest first-encounter position
+    wins, which is exactly the iteration order of the per-vertex conn
+    dict this selector replaces.  Returns (part, gain).
     """
-    internal = conn.get(pv, 0)
+    internal = conn[base + pv]
     best_part = pv
     best_gain = 0
-    for p, w in conn.items():
+    best_pos = -1
+    for p in range(k):
         if p == pv:
             continue
-        gain = w - internal
-        if gain <= best_gain:
+        fp = pos[base + p]
+        if fp < 0:
+            continue
+        gain = conn[base + p] - internal
+        if gain < best_gain or gain <= 0:
+            continue
+        if gain == best_gain and fp > best_pos:
             continue
         if weights[p] + vw > max(ubfactor * targets[p], targets[p] + vw):
             continue
@@ -250,6 +358,7 @@ def _best_kway_move(
             continue
         best_gain = gain
         best_part = p
+        best_pos = fp
     return best_part, best_gain
 
 
@@ -274,32 +383,53 @@ def boundary_kway_refine(
     of moves applied — deliberately *not* the cut, which would cost a
     full O(E) scan on the sub-O(E) warm path (callers that want the
     cut compute it once at the end, as ``part_graph`` does).
-    """
-    from collections import deque
 
+    Connectivity rows for the whole seed boundary come from one batched
+    ``conn_matrix`` call; a cached row stays valid until a *neighbor*
+    moves (a vertex's own move never changes its row — the row sums
+    neighbors' parts), at which point the vertex is marked dirty and
+    its next dequeue recomputes the row fresh, reproducing the legacy
+    per-dequeue conn dict exactly.
+    """
     n = graph.num_vertices
-    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    xadj, adjncy, vwgt = graph.xadj, graph.adjncy, graph.vwgt
     kr = kernels.active()
     rebalance_kway(graph, part, k, targets, ubfactor=ubfactor)
     weights = [float(w) for w in kr.part_weights(graph, part, k)]
 
-    queued = [False] * n
-    queue: "deque[int]" = deque()
-    for v in kr.boundary_list(graph, part):
-        queue.append(v)
-        queued[v] = True
+    boundary = kr.boundary_list(graph, part)
+    conn_rows, pos_rows, movable = kr.conn_matrix(graph, part, k, boundary)
+    row_of = {v: i for i, v in enumerate(boundary)}
+
+    dirty = bytearray(n)
+    queued = bytearray(n)
+    queue: "deque[int]" = deque(boundary)
+    for v in boundary:
+        queued[v] = 1
 
     moves = 0
     max_moves = int(max_moves_factor * n) + 1
     while queue and moves < max_moves:
         v = queue.popleft()
-        queued[v] = False
+        queued[v] = 0
         pv = part[v]
-        conn: dict = {}
-        for i in range(xadj[v], xadj[v + 1]):
-            p = part[adjncy[i]]
-            conn[p] = conn.get(p, 0) + adjwgt[i]
-        best_part, _gain = _best_kway_move(pv, vwgt[v], conn, weights, targets, ubfactor)
+        if dirty[v]:
+            conn, pos, mv = _conn_row(graph, part, k, v)
+            base = 0
+        else:
+            # only seed-boundary vertices can still be clean: mid-pass
+            # enqueues always come with a moved neighbor (dirty)
+            conn, pos = conn_rows, pos_rows
+            r = row_of[v]
+            base = r * k
+            mv = movable[r]
+        if not mv:
+            # no positive-gain destination exists for this row; the
+            # selector could only return "stay" (its balance checks
+            # never create a move), so skipping it is exact
+            continue
+        best_part, _gain = _select_kway_move(
+            pv, vwgt[v], conn, pos, base, k, weights, targets, ubfactor)
         if best_part == pv:
             continue
         weights[pv] -= vwgt[v]
@@ -308,9 +438,10 @@ def boundary_kway_refine(
         moves += 1
         for i in range(xadj[v], xadj[v + 1]):
             u = adjncy[i]
+            dirty[u] = 1
             if not queued[u]:
                 queue.append(u)
-                queued[u] = True
+                queued[u] = 1
     return moves
 
 
@@ -330,7 +461,7 @@ def kway_refine(
     balance tolerance.
     """
     n = graph.num_vertices
-    xadj, adjncy, adjwgt, vwgt = graph.xadj, graph.adjncy, graph.adjwgt, graph.vwgt
+    xadj, adjncy, vwgt = graph.xadj, graph.adjncy, graph.vwgt
     kr = kernels.active()
     rebalance_kway(graph, part, k, targets, ubfactor=ubfactor)
     weights = [float(w) for w in kr.part_weights(graph, part, k)]
@@ -341,21 +472,35 @@ def kway_refine(
         # restrict the scan to vertices that can possibly move: the
         # boundary at pass start plus anything adjacent to a mid-pass
         # move.  A vertex outside that set has all neighbors in its own
-        # part at scan time, so _best_kway_move returns (pv, 0) for it
-        # regardless of the weight state — skipping it is exact.
+        # part at scan time, so _select_kway_move returns (pv, 0) for
+        # it regardless of the weight state — skipping it is exact.
+        # Connectivity rows are batched once per pass over the
+        # boundary and stay valid until a neighbor moves (dirty), when
+        # the scan recomputes the row fresh — values identical to the
+        # legacy per-visit conn dict either way.
+        boundary = kr.boundary_list(graph, part)
+        conn_rows, pos_rows, movable = kr.conn_matrix(graph, part, k, boundary)
+        row_of = {u: i for i, u in enumerate(boundary)}
         candidate = bytearray(n)
-        for v in kr.boundary_list(graph, part):
+        for v in boundary:
             candidate[v] = 1
+        dirty = bytearray(n)
         for v in range(n):
             if not candidate[v]:
                 continue
             pv = part[v]
-            # connectivity of v to each adjacent part
-            conn: dict = {}
-            for i in range(xadj[v], xadj[v + 1]):
-                conn[part[adjncy[i]]] = conn.get(part[adjncy[i]], 0) + adjwgt[i]
-            best_part, best_gain = _best_kway_move(
-                pv, vwgt[v], conn, weights, targets, ubfactor
+            if dirty[v]:
+                conn, pos, mv = _conn_row(graph, part, k, v)
+                base = 0
+            else:
+                conn, pos = conn_rows, pos_rows
+                r = row_of[v]
+                base = r * k
+                mv = movable[r]
+            if not mv:
+                continue  # no positive-gain destination: selector can't move it
+            best_part, best_gain = _select_kway_move(
+                pv, vwgt[v], conn, pos, base, k, weights, targets, ubfactor
             )
             if best_part != pv:
                 weights[pv] -= vwgt[v]
@@ -364,7 +509,9 @@ def kway_refine(
                 cut -= best_gain
                 moved += 1
                 for i in range(xadj[v], xadj[v + 1]):
-                    candidate[adjncy[i]] = 1
+                    u = adjncy[i]
+                    candidate[u] = 1
+                    dirty[u] = 1
         if moved == 0:
             break
     return cut

@@ -220,6 +220,116 @@ def test_refinement_primitives_parity(backend, gpk, seed):
         assert kr.hem_matching(graph, order) == pure.hem_matching(graph, order)
 
 
+@st.composite
+def refinement_cases(draw):
+    """Larger CSR graphs + partitions for the batched refinement kernels.
+
+    Sized past the numpy backend's small-input pure fallback so the
+    vectorised paths are actually exercised; edge weights include 0 so
+    the ``first_pos`` presence sentinel (not ``conn > 0``) is what
+    distinguishes adjacent-with-zero-weight from not-adjacent.
+    """
+    n = draw(st.integers(min_value=1, max_value=48))
+    m = draw(st.integers(min_value=0, max_value=140))
+    edges = {}
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        edges[key] = edges.get(key, 0) + draw(st.integers(0, 5))
+    vwgt = draw(st.lists(st.integers(1, 9), min_size=n, max_size=n))
+    graph = CSRGraph.from_edges(n, [(u, v, w) for (u, v), w in edges.items()],
+                                vwgt=vwgt)
+    k = draw(st.integers(2, 5))
+    part = draw(st.lists(st.integers(-1, k - 1), min_size=n, max_size=n))
+    return graph, part, k
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(case=refinement_cases(), seed=st.integers(0, 99),
+       min_gain=st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_batched_refinement_kernel_parity(backend, case, seed, min_gain):
+    graph, part, k = case
+    assigned = [p if p >= 0 else 0 for p in part]
+    rng = random.Random(seed)
+    subset = [v for v in range(graph.num_vertices) if rng.random() < 0.7]
+    pure = _pure()
+    with kernels.using_backend(backend):
+        kr = kernels.active()
+        assert kr.max_weighted_degree(graph) == \
+            pure.max_weighted_degree(graph)
+        for p in (part, assigned):
+            assert kr.conn_matrix(graph, p, k, subset) == \
+                pure.conn_matrix(graph, p, k, subset)
+            assert kr.gain_vector(graph, p, subset) == \
+                pure.gain_vector(graph, p, subset)
+            assert kr.kl_proposals(graph, p, k, min_gain) == \
+                pure.kl_proposals(graph, p, k, min_gain)
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(-8, 8),
+                          st.booleans()),
+                max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_gain_buckets_match_lazy_deletion_heap(ops):
+    """GainBuckets pop order == heap ordered by (-gain, push counter).
+
+    Simulates the FM usage pattern: interleaved pushes (re-pushing a
+    vertex changes its current gain, making older entries stale) and
+    pops with the caller-side stale/done skipping both structures
+    contract to.  The sequences of *valid* pops must be identical.
+    """
+    import heapq
+
+    from repro.kernels import GainBuckets
+
+    buckets = GainBuckets(8)
+    heap = []
+    counter = 0
+    cur = {}
+    done = set()
+
+    def pop_buckets():
+        while True:
+            entry = buckets.pop()
+            if entry is None:
+                return None
+            v, g = entry
+            if v in done or cur.get(v) != g:
+                continue
+            return v, g
+
+    def pop_heap():
+        while heap:
+            neg_g, _, v = heapq.heappop(heap)
+            if v in done or cur.get(v) != -neg_g:
+                continue
+            return v, -neg_g
+        return None
+
+    def check_one_pop():
+        got = pop_buckets()
+        ref = pop_heap()
+        assert got == ref
+        if got is not None:
+            done.add(got[0])
+        return got
+
+    for v, g, do_pop in ops:
+        if do_pop:
+            check_one_pop()
+        else:
+            cur[v] = g
+            buckets.push(v, g)
+            counter += 1
+            heapq.heappush(heap, (-g, counter, v))
+    while check_one_pop() is not None:
+        pass
+
+
 # ----------------------------------------------------------------------
 # explicit edge cases
 

@@ -1,8 +1,22 @@
 """RL006 fixture: mutable default arguments."""
 
+import random
+
 
 def extend(base, extras=[]):  # expect: RL006
     return base + extras
+
+
+def refine(graph, part, max_passes=8, rng=random.Random(0)):  # expect: RL006
+    # the exact shape of the fm_refine bug: one seeded RNG instance is
+    # created at import and its state then leaks across calls
+    del graph, max_passes
+    return sorted(part, key=lambda _: rng.random())
+
+
+def shuffle_rows(rows, *, rng=random.Random(42)):  # expect: RL006
+    rng.shuffle(rows)
+    return rows
 
 
 def group(rows, acc=dict()):  # expect: RL006

@@ -1,8 +1,18 @@
 """RL006 fixture: None sentinel defaults (clean)."""
 
+import random
+
 
 def extend(base, extras=None):
     return base + (extras or [])
+
+
+def refine(graph, part, max_passes=8, rng=None):
+    # fresh seeded instance per call: no state shared between calls
+    if rng is None:
+        rng = random.Random(0)
+    del graph, max_passes
+    return sorted(part, key=lambda _: rng.random())
 
 
 def group(rows, acc=None):

@@ -1,0 +1,107 @@
+"""Regression tests for the two determinism bugs in ``metis/refine.py``.
+
+Bug 1 — shared-RNG default: ``fm_refine`` used to declare
+``rng: random.Random = random.Random(0)``, evaluated once at import, so
+every no-arg call shared a single generator whose state persisted
+across calls — results depended on call order within the process.
+
+Bug 2 — rebalance fallback: ``rebalance_kway``'s fallback destination
+scored parts by ``weight/target`` without excluding zero-target parts
+(ratio 0 → they attracted every forced move) and without the capacity
+check the preferred path enforces (it could overfill the part it
+picked).
+"""
+
+import inspect
+import random
+
+from repro.metis.graph import CSRGraph
+from repro.metis.refine import fm_refine, rebalance_kway
+
+
+def _random_graph(seed, n=30, m=70):
+    rng = random.Random(seed)
+    edges = {}
+    for _ in range(m):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        edges[key] = edges.get(key, 0) + rng.randint(1, 5)
+    vwgt = [rng.randint(1, 9) for _ in range(n)]
+    return CSRGraph.from_edges(n, [(u, v, w) for (u, v), w in edges.items()],
+                               vwgt=vwgt)
+
+
+def test_fm_refine_default_rng_is_not_shared():
+    # the signature must use a None sentinel, not a module-level instance
+    default = inspect.signature(fm_refine).parameters["rng"].default
+    assert default is None
+
+
+def test_fm_refine_back_to_back_calls_are_identical():
+    # with the old shared default, the second call saw the first call's
+    # advanced RNG state; now every no-arg call is self-contained
+    for seed in range(5):
+        graph = _random_graph(seed)
+        rng = random.Random(seed)
+        part = [rng.randrange(2) for _ in range(graph.num_vertices)]
+        total = float(graph.total_vertex_weight)
+        targets = (total / 2, total / 2)
+
+        first_part = list(part)
+        first_cut = fm_refine(graph, first_part, targets)
+        second_part = list(part)
+        second_cut = fm_refine(graph, second_part, targets)
+        assert (second_cut, second_part) == (first_cut, first_part)
+
+
+def test_rebalance_never_moves_into_zero_target_part():
+    # part 2 has target 0 (it should hold nothing); the old fallback
+    # scored it ratio 0 == lightest and dumped every forced move there
+    n = 12
+    graph = CSRGraph.from_edges(
+        n, [(i, (i + 1) % n, 1) for i in range(n)], vwgt=[5] * n)
+    # everything in part 0: massively over its target
+    part = [0] * n
+    targets = [20.0, 40.0, 0.0]
+    moves = rebalance_kway(graph, part, 3, targets)
+    assert moves > 0  # rebalancing did fire
+    assert all(p != 2 for p in part), "zero-target part received vertices"
+
+
+def test_rebalance_fallback_respects_capacity():
+    # isolated vertices (no external neighbors) in an overweight part
+    # force the fallback path.  Part 1 is the lightest by ratio but has
+    # no room; the old fallback would overfill it anyway.
+    #
+    #   part 0: 6 isolated vertices of weight 10 (target 20 -> over)
+    #   part 1: one vertex of weight 19  (target 20 -> 0.95 ratio)
+    #   part 2: one vertex of weight 30  (target 40 -> 0.75 ratio)
+    n = 8
+    vwgt = [10] * 6 + [19, 30]
+    graph = CSRGraph.from_edges(n, [(6, 7, 1)], vwgt=vwgt)
+    part = [0] * 6 + [1, 2]
+    targets = [20.0, 20.0, 40.0]
+    rebalance_kway(graph, part, 3, targets)
+    maxw = max(vwgt)
+    for q, t in enumerate(targets):
+        w = sum(vw for vw, p in zip(vwgt, part) if p == q)
+        if q == 0:
+            continue  # the source part may stay over if nobody has room
+        assert w <= max(1.05 * t, t + maxw), f"part {q} overfilled to {w}"
+
+
+def test_rebalance_skips_vertex_when_no_part_has_room():
+    # nobody can absorb a weight-50 vertex: the old code would still
+    # force it somewhere; the fix leaves it (documented: the part may
+    # stay overweight rather than overfill another)
+    n = 3
+    vwgt = [50, 50, 18]
+    graph = CSRGraph.from_edges(n, [], vwgt=vwgt)
+    part = [0, 0, 1]
+    targets = [50.0, 20.0]
+    before = list(part)
+    moves = rebalance_kway(graph, part, 2, targets)
+    assert moves == 0
+    assert part == before
